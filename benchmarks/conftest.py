@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints the
+reproduced rows/series, and asserts the expected *shape* (who wins, rough
+factors) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+
+
+def report(result: ExperimentResult) -> ExperimentResult:
+    """Print an experiment result under the benchmark output and return it."""
+    print()
+    print(result.to_text())
+    return result

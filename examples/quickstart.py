@@ -1,0 +1,60 @@
+"""Quickstart: train an Instant-NGP-style radiance field on a procedural scene.
+
+Runs the full Fig. 2 training pipeline (pixel batches, ray sampling, hash-grid
+radiance field, volume rendering, backprop, Adam) on the "lego" stand-in
+scene with the Instant-NeRF Morton locality hash, then reports test PSNR.
+
+Usage:
+    python examples/quickstart.py [scene] [iterations]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.hashing import MortonLocalityHash
+from repro.nerf import HashGridConfig, InstantNGPField, Trainer, TrainerConfig
+from repro.scenes import DatasetConfig, load_synthetic_dataset
+
+
+def main(scene: str = "lego", iterations: int = 200) -> None:
+    print(f"== Instant-NeRF quickstart: scene '{scene}', {iterations} iterations ==")
+
+    print("Rendering ground-truth images from the procedural scene ...")
+    dataset = load_synthetic_dataset(
+        scene,
+        DatasetConfig(image_size=48, num_train_views=10, num_test_views=2, gt_samples_per_ray=96),
+    )
+    print(f"  {dataset.num_train_views} train views, {dataset.num_test_views} test views, "
+          f"{dataset.num_train_pixels} training pixels")
+
+    grid = HashGridConfig(
+        num_levels=8, table_size=2**14, max_resolution=256, hash_fn=MortonLocalityHash()
+    )
+    field = InstantNGPField(grid, hidden_dim=32, geo_features=7)
+    print(f"  field parameters: {field.num_parameters():,} "
+          f"({grid.num_levels} levels x {grid.table_size} entries hash table + 2 small MLPs)")
+
+    trainer = Trainer(
+        field,
+        dataset,
+        TrainerConfig(num_iterations=iterations, rays_per_batch=256, samples_per_ray=48, log_every=50),
+    )
+    start = time.perf_counter()
+    history = trainer.train()
+    elapsed = time.perf_counter() - start
+    print(f"Training finished in {elapsed:.1f} s "
+          f"(final loss {history.final_loss:.5f}, train PSNR {history.final_psnr:.2f} dB)")
+
+    test_psnr = trainer.evaluate()
+    print(f"Held-out test PSNR: {test_psnr:.2f} dB")
+    image = trainer.render_image(0)
+    print(f"Rendered a {image.shape[0]}x{image.shape[1]} test view "
+          f"(mean intensity {image.mean():.3f}); paper-scale training would now continue for 35k iterations.")
+
+
+if __name__ == "__main__":
+    scene_name = sys.argv[1] if len(sys.argv) > 1 else "lego"
+    num_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    main(scene_name, num_iterations)

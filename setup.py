@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools predates PEP 660 wheel-less editable support
+(``pip install -e .`` falls back to the legacy ``setup.py develop`` path).
+All metadata lives in ``pyproject.toml``; this file only forwards to it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Instant-NeRF (DAC 2023) reproduction.
+
+An algorithm-accelerator co-design for instant on-device NeRF training via
+near-memory processing, reproduced as a pure-Python library:
+
+* :mod:`repro.core`      — Morton locality hashing, ray-first streaming,
+                           hash-table mapping, inter-bank parallelism, and
+                           the co-designed system model.
+* :mod:`repro.nerf`      — NumPy iNGP / NeRF training stack.
+* :mod:`repro.scenes`    — procedural stand-ins for the Synthetic-NeRF scenes.
+* :mod:`repro.dram`      — LPDDR4 bank/subarray DRAM timing & energy model.
+* :mod:`repro.accel`     — near-bank NMP accelerator model.
+* :mod:`repro.gpu`       — edge/cloud GPU roofline baselines and profiler.
+* :mod:`repro.workloads` — iNGP training-step workload characterisation.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

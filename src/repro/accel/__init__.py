@@ -1,0 +1,30 @@
+"""Instant-NeRF NMP accelerator: per-bank microarchitecture, ISA, system
+model and the speedup/energy comparison harness."""
+
+from .cost_model import ComparisonModel, SceneComparison
+from .isa import Instruction, InstructionStream, Opcode, build_step_program
+from .microarch import BankMicroarchitecture, ControllerConfig, MicroarchitectureConfig
+from .nmp import AlgorithmLocality, IterationCost, NMPAccelerator, NMPConfig, StepCost
+from .pe import FP32_PE_GROUP, INT32_PE_GROUP, PEGroup
+from .scratchpad import Scratchpad
+
+__all__ = [
+    "ComparisonModel",
+    "SceneComparison",
+    "Instruction",
+    "InstructionStream",
+    "Opcode",
+    "build_step_program",
+    "BankMicroarchitecture",
+    "ControllerConfig",
+    "MicroarchitectureConfig",
+    "AlgorithmLocality",
+    "IterationCost",
+    "NMPAccelerator",
+    "NMPConfig",
+    "StepCost",
+    "PEGroup",
+    "FP32_PE_GROUP",
+    "INT32_PE_GROUP",
+    "Scratchpad",
+]

@@ -1,0 +1,78 @@
+"""Speedup / energy-efficiency comparisons (paper Fig. 11).
+
+:class:`ComparisonModel` puts the NMP accelerator and the GPU baselines side
+by side for a set of scenes and reports the normalized speedup and energy
+efficiency the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.roofline import RooflineModel
+from ..gpu.specs import GPUSpec
+from .nmp import NMPAccelerator
+
+__all__ = ["SceneComparison", "ComparisonModel"]
+
+
+@dataclass(frozen=True)
+class SceneComparison:
+    """Accelerator-vs-GPU result for one scene."""
+
+    scene: str
+    gpu_name: str
+    gpu_seconds: float
+    gpu_energy_j: float
+    nmp_seconds: float
+    nmp_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        return self.gpu_seconds / self.nmp_seconds if self.nmp_seconds else float("inf")
+
+    @property
+    def energy_efficiency_improvement(self) -> float:
+        return self.gpu_energy_j / self.nmp_energy_j if self.nmp_energy_j else float("inf")
+
+
+class ComparisonModel:
+    """Runs the Fig. 11 comparison for one accelerator and one GPU baseline."""
+
+    def __init__(self, accelerator: NMPAccelerator, gpu: GPUSpec, use_measured_gpu_time: bool = True):
+        self.accelerator = accelerator
+        self.gpu = gpu
+        self.gpu_model = RooflineModel(gpu, workload=accelerator.workload)
+        self.use_measured_gpu_time = use_measured_gpu_time
+
+    def gpu_seconds(self) -> float:
+        """GPU per-scene training time: modelled, or the paper's measurement."""
+        if self.use_measured_gpu_time and self.gpu.measured_training_s is not None:
+            return self.gpu.measured_training_s
+        return self.gpu_model.scene_training_seconds()
+
+    def compare_scene(self, scene: str, scene_difficulty: float = 1.0) -> SceneComparison:
+        """One Fig. 11 bar.
+
+        ``scene_difficulty`` scales both platforms' workload identically (a
+        denser scene samples more occupied cubes); it preserves the paper's
+        per-scene variation without changing the relative speedup regime.
+        """
+        if scene_difficulty <= 0:
+            raise ValueError("scene_difficulty must be positive")
+        gpu_seconds = self.gpu_seconds() * scene_difficulty
+        gpu_energy = gpu_seconds * self.gpu.power_w * 0.75
+        nmp_seconds = self.accelerator.scene_training_seconds() * scene_difficulty
+        nmp_energy = self.accelerator.scene_training_energy_j() * scene_difficulty
+        return SceneComparison(
+            scene=scene,
+            gpu_name=self.gpu.name,
+            gpu_seconds=gpu_seconds,
+            gpu_energy_j=gpu_energy,
+            nmp_seconds=nmp_seconds,
+            nmp_energy_j=nmp_energy,
+        )
+
+    def compare_scenes(self, scene_difficulties: dict[str, float]) -> list[SceneComparison]:
+        """All Fig. 11 bars for this GPU baseline."""
+        return [self.compare_scene(scene, diff) for scene, diff in scene_difficulties.items()]

@@ -1,0 +1,134 @@
+"""Micro-instruction set of the per-bank Instant-NeRF controller.
+
+The controller (Fig. 8) reads instructions from an instruction FIFO, decodes
+them, and drives the compute engine and the bank command/address generators.
+This module defines the instruction encoding, a tiny assembler-style builder
+for the instruction streams of each training step, and a functional decoder
+used by the microarchitecture model to estimate control activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Opcode", "Instruction", "InstructionStream", "build_step_program"]
+
+
+class Opcode(Enum):
+    """Operations the per-bank controller can dispatch."""
+
+    ROW_READ = "row_read"        # bank row -> r0 register
+    ROW_WRITE = "row_write"      # r0 register -> bank row
+    SPM_LOAD = "spm_load"        # r0 -> scratchpad (through the crossbar)
+    SPM_STORE = "spm_store"      # scratchpad -> r0
+    HASH = "hash"                # INT32 PE group: hash-index calculation
+    GATHER = "gather"            # select embedding entries out of r0/scratchpad
+    MAC = "mac"                  # FP32 PE group: multiply-accumulate block
+    INTERP = "interp"            # FP32 PE group: trilinear interpolation
+    ACT = "act"                  # activation function evaluation
+    REDUCE = "reduce"            # partial-sum reduction (gradient accumulation)
+    SCATTER_ADD = "scatter_add"  # gradient scatter into embedding rows
+    SYNC = "sync"                # wait for outstanding bank commands
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One controller instruction.
+
+    ``operand`` carries a size (elements or bytes, opcode-dependent) so the
+    timing model knows how much work the instruction represents.
+    """
+
+    opcode: Opcode
+    operand: int = 0
+    target_subarray: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.operand < 0:
+            raise ValueError("operand must be non-negative")
+
+
+@dataclass
+class InstructionStream:
+    """An ordered list of instructions for one step on one bank."""
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, opcode: Opcode, operand: int = 0, target_subarray: int | None = None) -> None:
+        self.instructions.append(Instruction(opcode, operand, target_subarray))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for inst in self.instructions if inst.opcode is opcode)
+
+    def total_operand(self, opcode: Opcode) -> int:
+        return sum(inst.operand for inst in self.instructions if inst.opcode is opcode)
+
+
+def build_step_program(
+    step_name: str,
+    num_points: int,
+    num_levels: int,
+    mac_ops: int = 0,
+    rows_touched: int = 0,
+) -> InstructionStream:
+    """Assemble a representative instruction stream for one training step.
+
+    The stream is schematic (one instruction per block of work rather than
+    per element) but preserves the relative mix of row accesses, hash index
+    calculations, gathers, interpolations and MACs, which is what the
+    controller-activity and instruction-FIFO sizing estimates need.
+
+    Parameters
+    ----------
+    step_name:
+        One of ``"HT"``, ``"HT_b"``, ``"MLP"``, ``"MLP_b"``.
+    num_points:
+        Points processed by this bank.
+    num_levels:
+        Hash-table levels handled by this bank (parameter parallelism).
+    mac_ops:
+        Total MAC operations for MLP-type steps.
+    rows_touched:
+        Number of distinct DRAM rows the step reads or writes.
+    """
+    if num_points < 0 or num_levels < 0:
+        raise ValueError("num_points and num_levels must be non-negative")
+    stream = InstructionStream(step_name)
+    key = step_name.upper()
+    if key == "HT":
+        for _ in range(max(1, rows_touched)):
+            stream.append(Opcode.ROW_READ, operand=1024)
+        stream.append(Opcode.HASH, operand=num_points * num_levels * 8)
+        stream.append(Opcode.GATHER, operand=num_points * num_levels * 8)
+        stream.append(Opcode.INTERP, operand=num_points * num_levels)
+        stream.append(Opcode.SPM_STORE, operand=num_points * num_levels * 4)
+        stream.append(Opcode.SYNC)
+    elif key == "HT_B":
+        stream.append(Opcode.HASH, operand=num_points * num_levels * 8)
+        for _ in range(max(1, rows_touched)):
+            stream.append(Opcode.ROW_READ, operand=1024)
+        stream.append(Opcode.SCATTER_ADD, operand=num_points * num_levels * 8)
+        for _ in range(max(1, rows_touched)):
+            stream.append(Opcode.ROW_WRITE, operand=1024)
+        stream.append(Opcode.SYNC)
+    elif key == "MLP":
+        stream.append(Opcode.SPM_LOAD, operand=num_points * 64)
+        stream.append(Opcode.MAC, operand=max(1, mac_ops))
+        stream.append(Opcode.ACT, operand=num_points)
+        stream.append(Opcode.SPM_STORE, operand=num_points * 4)
+        stream.append(Opcode.SYNC)
+    elif key == "MLP_B":
+        stream.append(Opcode.SPM_LOAD, operand=num_points * 4)
+        stream.append(Opcode.MAC, operand=max(1, mac_ops))
+        stream.append(Opcode.REDUCE, operand=max(1, mac_ops // 64))
+        stream.append(Opcode.ROW_WRITE, operand=1024)
+        stream.append(Opcode.SYNC)
+    else:
+        raise ValueError(f"unknown step name {step_name!r}")
+    return stream

@@ -1,0 +1,48 @@
+"""Scratchpad memory model (2 KB per bank, Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scratchpad"]
+
+
+@dataclass(frozen=True)
+class Scratchpad:
+    """A small SRAM buffer between the row-buffer register and the PEs.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Storage capacity (Table III: 2 KB).
+    bytes_per_cycle:
+        Read+write bandwidth to the PE array per cycle.
+    energy_pj_per_byte:
+        Access energy per byte.
+    area_mm2:
+        Layout area.
+    """
+
+    capacity_bytes: int = 2048
+    bytes_per_cycle: int = 128
+    energy_pj_per_byte: float = 0.08
+    area_mm2: float = 0.15
+
+    def validate(self) -> None:
+        if self.capacity_bytes <= 0 or self.bytes_per_cycle <= 0:
+            raise ValueError("capacity_bytes and bytes_per_cycle must be positive")
+
+    def fits(self, working_set_bytes: int) -> bool:
+        """Whether a working set fits without spilling to DRAM."""
+        return working_set_bytes <= self.capacity_bytes
+
+    def transfer_cycles(self, num_bytes: float) -> float:
+        """Cycles to stream ``num_bytes`` through the scratchpad."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.bytes_per_cycle
+
+    def access_energy_j(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes * self.energy_pj_per_byte * 1e-12

@@ -1,0 +1,175 @@
+"""Top-level algorithm/accelerator co-design model.
+
+:class:`InstantNeRFSystem` ties the two halves of the paper together:
+
+* the *algorithm* side — which hash mapping function and point streaming
+  order are used — is characterised by measuring locality statistics on a
+  sampled point stream (requests per cube, cube-sharing run length), and
+* the *accelerator* side consumes those statistics through
+  :class:`repro.accel.nmp.AlgorithmLocality` to produce per-scene training
+  time and energy.
+
+It also quantifies the algorithm-only benefit on a commodity GPU (the paper
+reports a 1.15x training-efficiency boost on the 2080Ti from the improved
+effective memory bandwidth alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.cost_model import ComparisonModel, SceneComparison
+from ..accel.nmp import AlgorithmLocality, NMPAccelerator, NMPConfig
+from ..gpu.specs import GPUSpec
+from ..nerf.encoding import HashGridConfig
+from ..workloads.steps import INGPWorkloadModel
+from ..workloads.traces import TraceConfig, generate_batch_points
+from .hashing import HashFunction, MortonLocalityHash, OriginalSpatialHash, average_row_requests_per_cube
+from .streaming import StreamingOrder, point_order, points_sharing_same_cube
+
+__all__ = ["AlgorithmConfig", "InstantNeRFSystem", "SCENE_DIFFICULTY"]
+
+
+#: Relative per-scene workload difficulty used to spread the Fig. 11 bars.
+#: Derived from the relative per-scene training times reported for iNGP-class
+#: methods on Synthetic-NeRF (ship and ficus are the heaviest scenes, mic and
+#: materials the lightest); normalised to a mean of 1.0.
+SCENE_DIFFICULTY = {
+    "chair": 0.95,
+    "drums": 0.92,
+    "ficus": 1.08,
+    "hotdog": 1.02,
+    "lego": 1.00,
+    "materials": 0.90,
+    "mic": 0.88,
+    "ship": 1.25,
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmConfig:
+    """The algorithm half of the co-design."""
+
+    hash_fn: HashFunction
+    streaming_order: StreamingOrder
+    name: str
+
+    @classmethod
+    def instant_nerf(cls) -> "AlgorithmConfig":
+        return cls(MortonLocalityHash(), StreamingOrder.RAY_FIRST, "instant-nerf")
+
+    @classmethod
+    def ingp(cls) -> "AlgorithmConfig":
+        return cls(OriginalSpatialHash(), StreamingOrder.RANDOM, "ingp")
+
+
+class InstantNeRFSystem:
+    """The co-designed system: algorithm configuration + NMP accelerator."""
+
+    def __init__(
+        self,
+        algorithm: AlgorithmConfig | None = None,
+        grid_config: HashGridConfig | None = None,
+        nmp_config: NMPConfig | None = None,
+        trace_config: TraceConfig | None = None,
+    ):
+        self.algorithm = algorithm or AlgorithmConfig.instant_nerf()
+        self.grid = grid_config or HashGridConfig()
+        self.workload = INGPWorkloadModel(self.grid)
+        self.trace_config = trace_config or TraceConfig(num_rays=128, points_per_ray=32, seed=0)
+        self.locality = self.measure_locality()
+        self.accelerator = NMPAccelerator(
+            config=nmp_config, workload=self.workload, locality=self.locality
+        )
+
+    # --------------------------------------------------------- measurement
+    def measure_locality(self) -> AlgorithmLocality:
+        """Derive the locality statistics of the configured algorithm.
+
+        Samples a small batch of ray-ordered points, measures the average
+        number of DRAM rows per cube under the configured hash function and
+        the cube-sharing run length under the configured streaming order,
+        and maps residual conflicts to a stall factor.
+        """
+        points = generate_batch_points(self.trace_config)
+        flat = points.reshape(-1, 3)
+        order = point_order(
+            self.trace_config.num_rays,
+            self.trace_config.points_per_ray,
+            self.algorithm.streaming_order,
+            rng=np.random.default_rng(self.trace_config.seed),
+        )
+
+        # Requests per cube at a representative fine (hashed) level.
+        fine_level = self.grid.num_levels - 1
+        resolution = self.grid.resolutions[fine_level]
+        base_coords = np.clip((flat * resolution).astype(np.int64), 0, resolution - 1)
+        requests_per_cube = average_row_requests_per_cube(
+            self.algorithm.hash_fn, base_coords, self.grid.level_table_entries(fine_level)
+        )
+
+        # Cube sharing averaged over levels (coarse levels share heavily).
+        run_lengths = [
+            points_sharing_same_cube(flat, self.grid.resolutions[lvl], order)
+            for lvl in range(self.grid.num_levels)
+        ]
+        sharing = float(np.mean(run_lengths))
+
+        # Residual bank-conflict stalls: the locality-sensitive hash keeps
+        # conflicting requests on neighbouring rows that the subarray mapping
+        # absorbs; the scattered baseline hash does not.
+        if isinstance(self.algorithm.hash_fn, MortonLocalityHash) and (
+            self.algorithm.streaming_order is StreamingOrder.RAY_FIRST
+        ):
+            stall = 1.1
+        else:
+            stall = 1.6
+        return AlgorithmLocality(
+            row_requests_per_cube=float(requests_per_cube),
+            cube_sharing_run_length=max(1.0, sharing),
+            bank_conflict_stall_factor=stall,
+        )
+
+    # ------------------------------------------------------------- results
+    def scene_training_seconds(self, scene: str = "lego") -> float:
+        difficulty = SCENE_DIFFICULTY.get(scene, 1.0)
+        return self.accelerator.scene_training_seconds() * difficulty
+
+    def scene_training_energy_j(self, scene: str = "lego") -> float:
+        difficulty = SCENE_DIFFICULTY.get(scene, 1.0)
+        return self.accelerator.scene_training_energy_j() * difficulty
+
+    def compare_against(self, gpu: GPUSpec, scenes: list[str] | None = None, use_measured_gpu_time: bool = True) -> list[SceneComparison]:
+        """Fig. 11: per-scene speedup and energy efficiency against a GPU."""
+        scenes = scenes or list(SCENE_DIFFICULTY)
+        model = ComparisonModel(self.accelerator, gpu, use_measured_gpu_time=use_measured_gpu_time)
+        return model.compare_scenes({scene: SCENE_DIFFICULTY.get(scene, 1.0) for scene in scenes})
+
+    def algorithm_speedup_on_gpu(self, baseline: "InstantNeRFSystem | None" = None) -> float:
+        """Algorithm-only training-efficiency boost on a commodity GPU.
+
+        The locality-sensitive hash plus ray-first streaming raise the
+        effective memory bandwidth of the HT/HT_b kernels; on a GPU this
+        shortens only the hash-table-bound portion of an iteration.  The
+        paper measures a 1.15x end-to-end boost on the 2080Ti.
+        """
+        baseline = baseline or InstantNeRFSystem(AlgorithmConfig.ingp(), self.grid, trace_config=self.trace_config)
+        # Effective-bandwidth improvement for hash-table traffic.
+        ours = self.locality
+        theirs = baseline.locality
+        bw_gain = (theirs.row_requests_per_cube / ours.row_requests_per_cube) * (
+            ours.cube_sharing_run_length / theirs.cube_sharing_run_length
+        )
+        # Hash-table kernels are roughly 64% of an iNGP training iteration on
+        # GPUs (Fig. 1(b): HT 34.1% + HT_b 30.5%); only that part accelerates,
+        # and only a small fraction of the row-locality gain is realizable on
+        # a GPU whose cache lines and transaction sizes already amortise some
+        # of the randomness (the 0.04 realizable fraction is calibrated to the
+        # paper's measured 1.15x boost on the 2080Ti).
+        ht_fraction = 0.645
+        gpu_realizable_fraction = 0.04
+        effective_gain = 1.0 + (bw_gain - 1.0) * gpu_realizable_fraction
+        new_time = (1.0 - ht_fraction) + ht_fraction / effective_gain
+        return 1.0 / new_time

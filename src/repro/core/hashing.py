@@ -1,0 +1,242 @@
+"""Hash mapping functions for the multi-resolution hash encoding.
+
+iNGP maps integer grid-vertex coordinates to hash-table indices with a
+prime-XOR spatial hash; Instant-NeRF replaces it with a locality-sensitive
+Morton-code hash (see :mod:`repro.core.morton`).  This module provides a
+small class hierarchy so the encoding, the workload-trace generators and the
+accelerator model can all be parameterised by the hash function, plus the
+locality statistics the paper uses to motivate the change:
+
+* the index-distance breakdown between neighbouring cube vertices (Fig. 6),
+* the average number of DRAM row requests needed per 3D cube (the paper's
+  1.58 vs 4.02 statistic in Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .morton import morton_hash
+
+__all__ = [
+    "HashFunction",
+    "OriginalSpatialHash",
+    "MortonLocalityHash",
+    "DenseGridIndexer",
+    "cube_vertex_offsets",
+    "cube_vertices",
+    "index_distance_breakdown",
+    "average_row_requests_per_cube",
+    "IndexDistanceStats",
+    "DISTANCE_BIN_EDGES",
+    "DISTANCE_BIN_LABELS",
+]
+
+# iNGP's per-dimension hashing primes (the first is 1 so that the x0
+# coordinate passes through unchanged, as in the reference implementation).
+INGP_PRIMES = (1, 2_654_435_761, 805_459_861)
+
+
+def cube_vertex_offsets() -> np.ndarray:
+    """The eight ``(dx, dy, dz)`` corner offsets of a unit cube, shape (8, 3)."""
+    offsets = np.array(
+        [[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)],
+        dtype=np.int64,
+    )
+    return offsets
+
+
+def cube_vertices(base_coords: np.ndarray) -> np.ndarray:
+    """Expand base (lower-corner) vertices into the 8 cube-corner vertices.
+
+    Parameters
+    ----------
+    base_coords:
+        Integer array of shape ``(N, 3)`` holding the lower corner of each
+        cube.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N, 8, 3)``.
+    """
+    base = np.asarray(base_coords, dtype=np.int64)
+    if base.ndim != 2 or base.shape[1] != 3:
+        raise ValueError(f"base_coords must have shape (N, 3), got {base.shape}")
+    return base[:, None, :] + cube_vertex_offsets()[None, :, :]
+
+
+class HashFunction:
+    """Maps integer 3D vertex coordinates to hash-table indices in ``[0, T)``."""
+
+    #: human-readable name used in experiment tables
+    name: str = "abstract"
+
+    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class OriginalSpatialHash(HashFunction):
+    """iNGP's prime-multiplication XOR spatial hash.
+
+    ``h(x) = (x0 * pi_0 XOR x1 * pi_1 XOR x2 * pi_2) mod T`` with the primes
+    of the reference implementation.  Neighbouring vertices are scattered
+    essentially uniformly over the table, which is exactly the locality
+    problem Instant-NeRF addresses.
+    """
+
+    name = "ingp-prime-xor"
+
+    def __init__(self, primes: tuple[int, int, int] = INGP_PRIMES):
+        self.primes = tuple(int(p) for p in primes)
+        if len(self.primes) != 3:
+            raise ValueError("exactly three primes are required")
+
+    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+        coords = np.asarray(coords, dtype=np.uint64)
+        if coords.shape[-1] != 3:
+            raise ValueError(f"coords must have a trailing dim of 3, got {coords.shape}")
+        acc = coords[..., 0] * np.uint64(self.primes[0])
+        acc = acc ^ (coords[..., 1] * np.uint64(self.primes[1]))
+        acc = acc ^ (coords[..., 2] * np.uint64(self.primes[2]))
+        return (acc % np.uint64(table_size)).astype(np.int64)
+
+
+class MortonLocalityHash(HashFunction):
+    """Instant-NeRF's locality-sensitive Morton-code hash (paper Eq. (2))."""
+
+    name = "morton-locality"
+
+    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+        return morton_hash(coords, table_size)
+
+
+class DenseGridIndexer(HashFunction):
+    """Row-major dense indexing used for coarse levels where the grid fits.
+
+    iNGP only hashes levels whose grid has more vertices than ``T``; coarser
+    levels index the table directly.  Both hash functions defer to this
+    indexer through :class:`repro.nerf.encoding.HashGridEncoding`.
+    """
+
+    name = "dense"
+
+    def __init__(self, resolution: int):
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.resolution = int(resolution)
+
+    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+        coords = np.asarray(coords, dtype=np.int64)
+        r = self.resolution + 1  # vertices per axis
+        idx = coords[..., 0] + r * (coords[..., 1] + r * coords[..., 2])
+        return (idx % table_size).astype(np.int64)
+
+
+# Bin edges used in Fig. 6 of the paper (index distance between two
+# neighbouring vertices of one 3D cube).
+DISTANCE_BIN_EDGES = (0, 4, 16, 256, 5000)
+DISTANCE_BIN_LABELS = ("1~4", "4~16", "16~256", "256~5000", ">5000")
+
+
+@dataclass
+class IndexDistanceStats:
+    """Result of :func:`index_distance_breakdown`.
+
+    Attributes
+    ----------
+    fractions:
+        Mapping from a Fig. 6 bin label to the fraction of neighbouring
+        vertex pairs whose hash-index distance falls in the bin.
+    mean_distance:
+        Mean absolute index distance over all neighbouring pairs.
+    fraction_leq_16:
+        Convenience shortcut: fraction of pairs with distance <= 16.
+    fraction_gt_5000:
+        Fraction of pairs with distance > 5000.
+    """
+
+    fractions: dict[str, float] = field(default_factory=dict)
+    mean_distance: float = 0.0
+    fraction_leq_16: float = 0.0
+    fraction_gt_5000: float = 0.0
+
+
+def _neighbor_pairs() -> np.ndarray:
+    """Pairs of cube-corner indices that differ in exactly one coordinate."""
+    offsets = cube_vertex_offsets()
+    pairs = []
+    for a in range(8):
+        for b in range(a + 1, 8):
+            if np.abs(offsets[a] - offsets[b]).sum() == 1:
+                pairs.append((a, b))
+    return np.array(pairs, dtype=np.int64)
+
+
+def index_distance_breakdown(
+    hash_fn: HashFunction,
+    base_coords: np.ndarray,
+    table_size: int,
+) -> IndexDistanceStats:
+    """Fig. 6: index-distance breakdown between neighbouring cube vertices.
+
+    For each cube, the 12 pairs of edge-adjacent vertices are hashed and the
+    absolute difference of their table indices is histogrammed into the
+    paper's five bins.
+
+    Parameters
+    ----------
+    hash_fn:
+        The hash mapping function under study.
+    base_coords:
+        ``(N, 3)`` lower-corner vertex coordinates of the sampled cubes.
+    table_size:
+        Number of entries per hash-table level, ``T``.
+    """
+    verts = cube_vertices(base_coords)  # (N, 8, 3)
+    idx = hash_fn(verts.reshape(-1, 3), table_size).reshape(verts.shape[0], 8)
+    pairs = _neighbor_pairs()  # (12, 2)
+    dist = np.abs(idx[:, pairs[:, 0]] - idx[:, pairs[:, 1]]).ravel().astype(np.float64)
+    # Distances of zero (same entry) count in the smallest bin.
+    edges = list(DISTANCE_BIN_EDGES) + [np.inf]
+    fractions: dict[str, float] = {}
+    total = dist.size
+    for label, lo, hi in zip(DISTANCE_BIN_LABELS, edges[:-1], edges[1:]):
+        if lo == 0:
+            mask = dist <= hi
+        else:
+            mask = (dist > lo) & (dist <= hi)
+        fractions[label] = float(mask.sum()) / total
+    return IndexDistanceStats(
+        fractions=fractions,
+        mean_distance=float(dist.mean()),
+        fraction_leq_16=float((dist <= 16).mean()),
+        fraction_gt_5000=float((dist > 5000).mean()),
+    )
+
+
+def average_row_requests_per_cube(
+    hash_fn: HashFunction,
+    base_coords: np.ndarray,
+    table_size: int,
+    row_bytes: int = 1024,
+    entry_bytes: int = 4,
+) -> float:
+    """Average number of DRAM row requests to fetch one cube's 8 embeddings.
+
+    Memory requests use row-wise granularity (1 KB rows by default) while a
+    hash-table entry is only ``entry_bytes`` wide, so the number of requests
+    per cube equals the number of *distinct rows* touched by the 8 vertex
+    indices.  The paper reports 1.58 requests/cube for the Morton hash vs
+    4.02 for the original design (Sec. III-A).
+    """
+    if row_bytes <= 0 or entry_bytes <= 0:
+        raise ValueError("row_bytes and entry_bytes must be positive")
+    entries_per_row = max(1, row_bytes // entry_bytes)
+    verts = cube_vertices(base_coords)
+    idx = hash_fn(verts.reshape(-1, 3), table_size).reshape(verts.shape[0], 8)
+    rows = idx // entries_per_row
+    unique_counts = np.array([len(np.unique(r)) for r in rows], dtype=np.float64)
+    return float(unique_counts.mean())

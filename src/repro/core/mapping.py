@@ -1,0 +1,214 @@
+"""Hash-table-to-DRAM mapping schemes (paper Sec. IV-B).
+
+Even with the locality-sensitive hash and the ray-first order, random hash
+lookups still collide on banks.  The paper's mapping scheme has two parts:
+
+* **Intra-level mapping** — more than half of the remaining bank conflicts
+  come from memory requests with *sequential* addresses (neighbouring table
+  entries produced exactly because the Morton hash makes neighbours
+  adjacent).  Striping sequential addresses across a bank's subarrays lets
+  those requests proceed in parallel via subarray-level parallelism.
+* **Inter-level mapping** — per-level conflict counts are unbalanced
+  (Fig. 9), so levels are clustered into groups (Levels 0-4, 5-8, 9-10, and
+  the remaining fine levels individually) and the groups are distributed
+  over different banks to balance processing time.
+
+The module maps per-level table indices to (bank, subarray, row) coordinates
+and counts conflicts, which feeds both Fig. 9 and the accelerator model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..nerf.encoding import HashGridConfig
+
+__all__ = [
+    "IntraLevelPolicy",
+    "HashTableMappingConfig",
+    "HashTableMapper",
+    "BankConflictStats",
+    "default_level_groups",
+]
+
+
+class IntraLevelPolicy(Enum):
+    """How entries of one level are spread inside their bank."""
+
+    ROW_MAJOR = "row_major"            # naive: consecutive entries fill a subarray before the next
+    SUBARRAY_INTERLEAVED = "subarray"  # Instant-NeRF: consecutive rows striped across subarrays
+
+
+def default_level_groups(num_levels: int) -> list[list[int]]:
+    """The paper's inter-level clustering for a 16-level table.
+
+    Levels 0-4, 5-8 and 9-10 form three groups (their tables are small and
+    lightly conflicted); every remaining fine level gets its own group.  For
+    tables with fewer levels the same proportions are applied.
+    """
+    if num_levels <= 0:
+        raise ValueError("num_levels must be positive")
+    if num_levels >= 11:
+        groups = [list(range(0, 5)), list(range(5, 9)), list(range(9, 11))]
+        groups.extend([[lvl] for lvl in range(11, num_levels)])
+        return groups
+    # Scaled-down variant: first half in one group, rest individually.
+    half = max(1, num_levels // 2)
+    groups = [list(range(0, half))]
+    groups.extend([[lvl] for lvl in range(half, num_levels)])
+    return groups
+
+
+@dataclass(frozen=True)
+class HashTableMappingConfig:
+    """Placement of the multi-resolution hash table onto DRAM banks."""
+
+    num_banks: int = 16
+    subarrays_per_bank: int = 16
+    row_bytes: int = 1024
+    entry_bytes: int = 4
+    intra_level_policy: IntraLevelPolicy = IntraLevelPolicy.SUBARRAY_INTERLEAVED
+    use_inter_level_grouping: bool = True
+
+    def validate(self) -> None:
+        if self.num_banks <= 0 or self.subarrays_per_bank <= 0:
+            raise ValueError("num_banks and subarrays_per_bank must be positive")
+        if self.row_bytes <= 0 or self.entry_bytes <= 0:
+            raise ValueError("row_bytes and entry_bytes must be positive")
+
+    @property
+    def entries_per_row(self) -> int:
+        return max(1, self.row_bytes // self.entry_bytes)
+
+
+@dataclass
+class BankConflictStats:
+    """Conflict accounting for one batch of lookups at one level."""
+
+    level: int
+    total_requests: int
+    bank_conflicts: int
+    sequential_conflicts: int
+    subarray_resolved: int
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.bank_conflicts / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Fraction of conflicts caused by sequential addresses (paper: >50 %)."""
+        return self.sequential_conflicts / self.bank_conflicts if self.bank_conflicts else 0.0
+
+
+class HashTableMapper:
+    """Maps per-level hash-table indices to (bank, subarray, row) and counts conflicts."""
+
+    def __init__(self, grid_config: HashGridConfig | None = None, mapping: HashTableMappingConfig | None = None):
+        self.grid = grid_config or HashGridConfig()
+        self.config = mapping or HashTableMappingConfig()
+        self.config.validate()
+        self._level_to_bank = self._assign_levels_to_banks()
+
+    # ----------------------------------------------------------- placement
+    def _assign_levels_to_banks(self) -> dict[int, int]:
+        """Bank id for each level following the inter-level grouping."""
+        num_levels = self.grid.num_levels
+        if not self.config.use_inter_level_grouping:
+            # Naive placement: level l on bank l mod num_banks.
+            return {lvl: lvl % self.config.num_banks for lvl in range(num_levels)}
+        groups = default_level_groups(num_levels)
+        mapping: dict[int, int] = {}
+        for bank, group in enumerate(groups):
+            for lvl in group:
+                mapping[lvl] = bank % self.config.num_banks
+        return mapping
+
+    def bank_of_level(self, level: int) -> int:
+        """DRAM bank hosting a level's table (parameter parallelism)."""
+        if level not in self._level_to_bank:
+            raise ValueError(f"level {level} outside the configured table")
+        return self._level_to_bank[level]
+
+    def level_groups(self) -> list[list[int]]:
+        """The level clustering in effect."""
+        if not self.config.use_inter_level_grouping:
+            return [[lvl] for lvl in range(self.grid.num_levels)]
+        return default_level_groups(self.grid.num_levels)
+
+    def locate(self, level: int, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map table indices of one level to (bank, subarray, row-within-subarray).
+
+        With ``ROW_MAJOR`` placement, consecutive rows of the level stay in
+        the same subarray until it is full; with ``SUBARRAY_INTERLEAVED``
+        placement consecutive rows rotate over subarrays, so a burst of
+        sequential addresses lands on different subarrays and can be served
+        in parallel.
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        cfg = self.config
+        bank = np.full(indices.shape, self.bank_of_level(level), dtype=np.int64)
+        row_linear = indices // cfg.entries_per_row
+        level_rows = max(1, self.grid.level_table_entries(level) // cfg.entries_per_row)
+        rows_per_subarray = max(1, level_rows // cfg.subarrays_per_bank)
+        if cfg.intra_level_policy is IntraLevelPolicy.SUBARRAY_INTERLEAVED:
+            subarray = row_linear % cfg.subarrays_per_bank
+            row_in_subarray = row_linear // cfg.subarrays_per_bank
+        else:
+            subarray = np.minimum(row_linear // rows_per_subarray, cfg.subarrays_per_bank - 1)
+            row_in_subarray = row_linear % rows_per_subarray
+        return bank, subarray, row_in_subarray
+
+    # ------------------------------------------------------------ conflicts
+    def count_conflicts(self, level: int, indices: np.ndarray, parallel_points: int = 32) -> BankConflictStats:
+        """Count bank conflicts for a batch of lookups processed in groups.
+
+        ``parallel_points`` lookups are issued together (the paper processes
+        32 points in parallel in HT/HT_b).  Within one group, two requests
+        conflict when they target the same bank and subarray but different
+        rows; requests to different subarrays proceed in parallel thanks to
+        subarray-level parallelism, and requests to the same open row merge.
+        A conflict is *sequential* when the conflicting rows are adjacent —
+        the class of conflicts the interleaved intra-level mapping removes.
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if parallel_points <= 0:
+            raise ValueError("parallel_points must be positive")
+        bank, subarray, row = self.locate(level, indices)
+        conflicts = 0
+        sequential = 0
+        resolved = 0
+        total_requests = 0
+        group_size = parallel_points
+        for start in range(0, indices.size, group_size):
+            g_bank = bank[start : start + group_size]
+            g_sub = subarray[start : start + group_size]
+            g_row = row[start : start + group_size]
+            total_requests += g_bank.size
+            # Requests to the same (bank, subarray): serialized unless same row.
+            keys = g_bank * (self.config.subarrays_per_bank + 1) + g_sub
+            for key in np.unique(keys):
+                mask = keys == key
+                rows_here = g_row[mask]
+                unique_rows = np.unique(rows_here)
+                extra = unique_rows.size - 1
+                if extra > 0:
+                    conflicts += extra
+                    gaps = np.diff(np.sort(unique_rows))
+                    sequential += int(np.sum(gaps == 1))
+            # Conflicts avoided because different subarrays of the same bank
+            # were hit in parallel.
+            for b in np.unique(g_bank):
+                bank_mask = g_bank == b
+                subarrays_hit = np.unique(g_sub[bank_mask]).size
+                resolved += max(0, subarrays_hit - 1)
+        return BankConflictStats(
+            level=level,
+            total_requests=total_requests,
+            bank_conflicts=conflicts,
+            sequential_conflicts=sequential,
+            subarray_resolved=resolved,
+        )

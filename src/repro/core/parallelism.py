@@ -1,0 +1,190 @@
+"""Heterogeneous inter-bank parallelism design (paper Sec. IV-C, Fig. 10).
+
+Two classical options exist for spreading a step over the banks of a die:
+
+* **data parallelism** — every bank holds a copy of the parameters and
+  processes a slice of the batch;
+* **parameter parallelism** — every bank holds a slice of the parameters and
+  all banks see the whole batch.
+
+Because inter-bank transfers ride the narrow shared I/O path, the right
+choice per step is the one that duplicates/moves the *smaller* object.  The
+paper's heterogeneous plan uses parameter parallelism for HT/HT_b (the hash
+table is large, the point stream is small) and data parallelism for
+MLP/MLP_b (the MLP weights are tiny, the activations are large), and
+classifies all inter-bank traffic into four categories (Fig. 10).
+
+This module computes, for any plan, the per-category inter-bank movement in
+bytes — the quantity the design minimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..workloads.steps import INGPWorkloadModel
+
+__all__ = [
+    "ParallelismKind",
+    "MovementCategory",
+    "StepPlan",
+    "ParallelismPlan",
+    "InterBankTraffic",
+    "heterogeneous_plan",
+    "all_data_parallel_plan",
+    "all_parameter_parallel_plan",
+    "analyze_plan",
+]
+
+
+class ParallelismKind(Enum):
+    """Inter-bank parallelism applied to one step."""
+
+    DATA = "data"
+    PARAMETER = "parameter"
+
+
+class MovementCategory(Enum):
+    """The four causes of inter-bank data movement (Fig. 10)."""
+
+    DUPLICATION = "cat1_duplication"          # parameter/data duplication for parallelism
+    SEQUENTIAL_TRANSFER = "cat2_sequential"   # input/output transfer between sequential steps
+    INTRA_STEP = "cat3_intra_step"            # intermediate data transfer within a single step
+    GRADIENT_PARTIAL_SUM = "cat4_grad_psum"   # parameter-gradient partial-sum transfer
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """Parallelism choice for one (aggregated) step."""
+
+    step: str                       # "HT", "MLP", "MLP_b", "HT_b"
+    parallelism: ParallelismKind
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """A complete inter-bank parallelism plan for the four bottleneck steps."""
+
+    name: str
+    steps: tuple[StepPlan, ...]
+
+    def kind_for(self, step: str) -> ParallelismKind:
+        for plan in self.steps:
+            if plan.step == step:
+                return plan.parallelism
+        raise KeyError(f"step {step!r} not in plan {self.name!r}")
+
+
+@dataclass(frozen=True)
+class InterBankTraffic:
+    """Per-category inter-bank data movement (bytes) for one training iteration."""
+
+    per_step: dict[str, dict[MovementCategory, float]]
+
+    def total_bytes(self) -> float:
+        return sum(sum(categories.values()) for categories in self.per_step.values())
+
+    def category_total(self, category: MovementCategory) -> float:
+        return sum(categories.get(category, 0.0) for categories in self.per_step.values())
+
+    def step_total(self, step: str) -> float:
+        return sum(self.per_step[step].values())
+
+
+def heterogeneous_plan() -> ParallelismPlan:
+    """The paper's plan: parameter parallelism for HT/HT_b, data parallelism for MLP/MLP_b."""
+    return ParallelismPlan(
+        name="heterogeneous",
+        steps=(
+            StepPlan("HT", ParallelismKind.PARAMETER),
+            StepPlan("MLP", ParallelismKind.DATA),
+            StepPlan("MLP_b", ParallelismKind.DATA),
+            StepPlan("HT_b", ParallelismKind.PARAMETER),
+        ),
+    )
+
+
+def all_data_parallel_plan() -> ParallelismPlan:
+    """Ablation: data parallelism everywhere (duplicates the 25 MB hash table)."""
+    return ParallelismPlan(
+        name="all-data-parallel",
+        steps=tuple(StepPlan(step, ParallelismKind.DATA) for step in ("HT", "MLP", "MLP_b", "HT_b")),
+    )
+
+
+def all_parameter_parallel_plan() -> ParallelismPlan:
+    """Ablation: parameter parallelism everywhere (duplicates the activations)."""
+    return ParallelismPlan(
+        name="all-parameter-parallel",
+        steps=tuple(StepPlan(step, ParallelismKind.PARAMETER) for step in ("HT", "MLP", "MLP_b", "HT_b")),
+    )
+
+
+def _aggregate_sizes(workload: INGPWorkloadModel) -> dict[str, dict[str, float]]:
+    """Table II sizes in *bytes*, aggregated to the paper's four-step granularity."""
+    table2 = workload.table2()
+    return {
+        step: {key.replace("_mb", ""): value * 1024**2 for key, value in sizes.items()}
+        for step, sizes in table2.items()
+    }
+
+
+def analyze_plan(
+    plan: ParallelismPlan,
+    workload: INGPWorkloadModel | None = None,
+    num_banks: int = 16,
+) -> InterBankTraffic:
+    """Inter-bank movement (bytes/iteration) for a plan, by step and category.
+
+    The accounting follows Fig. 10's table:
+
+    * Category 1 (duplication): data parallelism duplicates the step's
+      parameters to every bank; parameter parallelism duplicates the step's
+      input data to every bank.
+    * Category 2 (sequential transfer): when two consecutive steps use
+      different parallelism kinds, the producer's output must be
+      redistributed across banks before the consumer starts.
+    * Category 3 (intra-step): intermediate data crossing banks mid-step —
+      zero for every configuration considered (each bank finishes its slice
+      locally).
+    * Category 4 (gradient partial sums): with data parallelism, each bank
+      holds a partial parameter gradient that must be reduced across banks.
+    """
+    if num_banks <= 0:
+        raise ValueError("num_banks must be positive")
+    workload = workload or INGPWorkloadModel()
+    sizes = _aggregate_sizes(workload)
+    order = ["HT", "MLP", "MLP_b", "HT_b"]
+    result: dict[str, dict[MovementCategory, float]] = {}
+
+    for i, step in enumerate(order):
+        kind = plan.kind_for(step)
+        step_sizes = sizes[step]
+        categories: dict[MovementCategory, float] = {cat: 0.0 for cat in MovementCategory}
+
+        if kind is ParallelismKind.DATA:
+            # Every bank needs a full copy of the parameters (beyond the one
+            # bank that already holds them).
+            categories[MovementCategory.DUPLICATION] = step_sizes["param"] * (num_banks - 1)
+        else:
+            # Every bank needs the whole input point stream.
+            categories[MovementCategory.DUPLICATION] = step_sizes["input"] * (num_banks - 1)
+
+        if i > 0:
+            prev = order[i - 1]
+            prev_kind = plan.kind_for(prev)
+            # The previous step's output is this step's input.  If the data
+            # layout across banks differs (different parallelism kinds, or
+            # parameter parallelism where outputs are sharded by level), a
+            # redistribution of that tensor is needed.
+            if prev_kind is not kind or kind is ParallelismKind.PARAMETER:
+                categories[MovementCategory.SEQUENTIAL_TRANSFER] = sizes[prev]["output"]
+
+        if step.endswith("_b") and kind is ParallelismKind.DATA:
+            # Gradient partial sums: every bank contributes a full-size
+            # parameter gradient that must be reduced.
+            categories[MovementCategory.GRADIENT_PARTIAL_SUM] = step_sizes["param"] * (num_banks - 1)
+
+        result[step] = categories
+    return InterBankTraffic(per_step=result)

@@ -1,0 +1,208 @@
+"""Point streaming orders (paper Sec. III-B).
+
+iNGP processes the randomly selected pixels of a batch in an arbitrary
+order, so consecutive points rarely share a surrounding cube and almost
+every lookup misses the accelerator's local registers.  Instant-NeRF instead
+streams the points of one ray before moving to the next ray ("ray-first
+point streaming order"): neighbouring points along a ray frequently fall in
+the same cube at coarse levels (Fig. 7(a)), so their eight embeddings are
+already present in the local registers, and at finer levels the cubes are at
+least adjacent, which the Morton hash turns into adjacent table entries.
+
+This module provides the two orders, the cube-sharing statistics of
+Fig. 7(a) and the effective-memory-bandwidth model of Fig. 7(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..nerf.encoding import HashGridConfig
+from .hashing import HashFunction
+
+__all__ = [
+    "StreamingOrder",
+    "point_order",
+    "points_sharing_same_cube",
+    "register_hit_rate",
+    "memory_requests_for_stream",
+    "effective_bandwidth_improvement",
+    "LocalityReport",
+]
+
+
+class StreamingOrder(Enum):
+    """How the points of a training batch are streamed into the accelerator."""
+
+    RANDOM = "random"        # iNGP default: random point order
+    RAY_FIRST = "ray_first"  # Instant-NeRF: all points of a ray, then the next ray
+
+
+def point_order(
+    num_rays: int,
+    points_per_ray: int,
+    order: StreamingOrder,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Permutation over the flattened ``(num_rays * points_per_ray,)`` point axis.
+
+    Points are assumed to be laid out ray-major (all samples of ray 0, then
+    ray 1, ...), which is how :func:`repro.workloads.traces.generate_batch_points`
+    produces them.  ``RAY_FIRST`` therefore is the identity permutation and
+    ``RANDOM`` is a uniform shuffle.
+    """
+    if num_rays <= 0 or points_per_ray <= 0:
+        raise ValueError("num_rays and points_per_ray must be positive")
+    total = num_rays * points_per_ray
+    if order is StreamingOrder.RAY_FIRST:
+        return np.arange(total, dtype=np.int64)
+    rng = rng or np.random.default_rng(0)
+    return rng.permutation(total).astype(np.int64)
+
+
+def _cube_ids(points: np.ndarray, resolution: int) -> np.ndarray:
+    """Integer id of the cube containing each point at a given resolution."""
+    pts = np.clip(np.asarray(points, dtype=np.float64).reshape(-1, 3), 0.0, 1.0)
+    base = np.clip(np.floor(pts * resolution).astype(np.int64), 0, resolution - 1)
+    return base[:, 0] + resolution * (base[:, 1] + resolution * base[:, 2])
+
+
+def points_sharing_same_cube(points: np.ndarray, resolution: int, order: np.ndarray | None = None) -> float:
+    """Average run length of consecutive points that fall in the same cube.
+
+    This is the Fig. 7(a) metric: for the ray-first order at coarse levels a
+    dozen or more consecutive points share one cube; after a random shuffle
+    the average run length collapses towards 1.
+    """
+    cube_ids = _cube_ids(points, resolution)
+    if order is not None:
+        cube_ids = cube_ids[order]
+    if cube_ids.size == 0:
+        return 0.0
+    change = np.nonzero(np.diff(cube_ids) != 0)[0]
+    num_runs = change.size + 1
+    return float(cube_ids.size / num_runs)
+
+
+def register_hit_rate(points: np.ndarray, resolution: int, order: np.ndarray | None = None) -> float:
+    """Fraction of points whose cube embeddings are already in local registers.
+
+    A point "hits" when the previous streamed point used the same cube, so
+    its eight embeddings need no new memory request.
+    """
+    cube_ids = _cube_ids(points, resolution)
+    if order is not None:
+        cube_ids = cube_ids[order]
+    if cube_ids.size <= 1:
+        return 0.0
+    hits = np.sum(np.diff(cube_ids) == 0)
+    return float(hits / (cube_ids.size - 1))
+
+
+def memory_requests_for_stream(
+    points: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    hash_fn: HashFunction,
+    order: np.ndarray | None = None,
+    row_bytes: int = 1024,
+    entry_bytes: int = 4,
+) -> int:
+    """Number of DRAM row requests needed to stream one level's lookups.
+
+    Points are processed in stream order; a row request is needed whenever a
+    cube-corner lookup touches a row that is not already held from the
+    previous point (a single-row "register" reuse window, matching the
+    row-buffer-sized r0 register of the microarchitecture).  Points whose
+    cube is identical to the previous point's cube are register hits and
+    need no request at all.
+    """
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    if order is not None:
+        pts = pts[order]
+    res = grid_config.resolutions[level]
+    table_entries = grid_config.level_table_entries(level)
+    entries_per_row = max(1, row_bytes // entry_bytes)
+
+    scaled = np.clip(pts, 0.0, 1.0) * res
+    base = np.clip(np.floor(scaled).astype(np.int64), 0, res - 1)
+    cube_ids = base[:, 0] + res * (base[:, 1] + res * base[:, 2])
+
+    offsets = np.array([[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)], dtype=np.int64)
+    corners = base[:, None, :] + offsets[None, :, :]
+    if grid_config.level_uses_hash(level):
+        idx = hash_fn(corners.reshape(-1, 3), table_entries).reshape(-1, 8)
+    else:
+        from .hashing import DenseGridIndexer
+
+        idx = DenseGridIndexer(res)(corners.reshape(-1, 3), table_entries).reshape(-1, 8)
+    rows = idx // entries_per_row
+
+    requests = 0
+    previous_rows: set[int] = set()
+    previous_cube = None
+    for i in range(rows.shape[0]):
+        if previous_cube is not None and cube_ids[i] == previous_cube:
+            continue  # register hit: embeddings already loaded
+        current_rows = set(int(r) for r in rows[i])
+        requests += len(current_rows - previous_rows)
+        previous_rows = current_rows
+        previous_cube = cube_ids[i]
+    return requests
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Per-level locality comparison between a baseline and Instant-NeRF."""
+
+    level: int
+    baseline_requests: int
+    optimized_requests: int
+    sharing_run_length: float
+    register_hit_rate: float
+
+    @property
+    def effective_bandwidth_improvement(self) -> float:
+        """Fewer row requests for the same useful data = proportionally higher
+        effective bandwidth (Fig. 7(b))."""
+        if self.optimized_requests == 0:
+            return float("inf")
+        return self.baseline_requests / self.optimized_requests
+
+
+def effective_bandwidth_improvement(
+    points: np.ndarray,
+    grid_config: HashGridConfig,
+    baseline_hash: HashFunction,
+    optimized_hash: HashFunction,
+    num_rays: int,
+    points_per_ray: int,
+    rng: np.random.Generator | None = None,
+) -> list[LocalityReport]:
+    """Fig. 7: per-level locality gain of Morton hashing + ray-first streaming.
+
+    The baseline uses the original hash with a random point order; the
+    optimized configuration uses the locality-sensitive hash with the
+    ray-first order.  Both stream the *same* sampled points.
+    """
+    rng = rng or np.random.default_rng(0)
+    random_order = point_order(num_rays, points_per_ray, StreamingOrder.RANDOM, rng)
+    ray_order = point_order(num_rays, points_per_ray, StreamingOrder.RAY_FIRST)
+    reports = []
+    for level in range(grid_config.num_levels):
+        res = grid_config.resolutions[level]
+        baseline = memory_requests_for_stream(points, level, grid_config, baseline_hash, random_order)
+        optimized = memory_requests_for_stream(points, level, grid_config, optimized_hash, ray_order)
+        reports.append(
+            LocalityReport(
+                level=level,
+                baseline_requests=baseline,
+                optimized_requests=optimized,
+                sharing_run_length=points_sharing_same_cube(points, res, ray_order),
+                register_hit_rate=register_hit_rate(points, res, ray_order),
+            )
+        )
+    return reports

@@ -1,0 +1,68 @@
+"""Per-command and per-bit DRAM energy model.
+
+Energy constants are representative LPDDR4 values (pJ) drawn from public
+LPDDR4 characterisations; absolute joules are not meant to match silicon, but
+the *ratios* between activation, row-buffer access and I/O transfer energy —
+which drive the NMP-vs-GPU energy-efficiency comparison of Fig. 11(b) — are
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DRAMEnergyModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (in joules) split by source."""
+
+    activation_j: float
+    read_write_j: float
+    io_j: float
+    background_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.activation_j + self.read_write_j + self.io_j + self.background_j
+
+
+@dataclass(frozen=True)
+class DRAMEnergyModel:
+    """Energy per event.
+
+    Attributes
+    ----------
+    activate_pj:
+        Energy of one row activation (ACT + PRE pair).
+    column_access_pj_per_byte:
+        Energy to move one byte between a row buffer and the bank periphery.
+    io_pj_per_byte:
+        Energy to move one byte over the external LPDDR4 interface (not paid
+        by near-bank NMP accesses, which is the key energy advantage).
+    background_mw:
+        Static/background power of the device.
+    """
+
+    activate_pj: float = 1500.0
+    column_access_pj_per_byte: float = 1.2
+    io_pj_per_byte: float = 4.0
+    background_mw: float = 60.0
+
+    def energy(
+        self,
+        activations: int,
+        bytes_accessed: int,
+        bytes_on_io: int,
+        elapsed_seconds: float,
+    ) -> EnergyBreakdown:
+        """Total DRAM energy for a phase of execution."""
+        if min(activations, bytes_accessed, bytes_on_io) < 0 or elapsed_seconds < 0:
+            raise ValueError("all inputs must be non-negative")
+        return EnergyBreakdown(
+            activation_j=activations * self.activate_pj * 1e-12,
+            read_write_j=bytes_accessed * self.column_access_pj_per_byte * 1e-12,
+            io_j=bytes_on_io * self.io_pj_per_byte * 1e-12,
+            background_j=self.background_mw * 1e-3 * elapsed_seconds,
+        )

@@ -1,0 +1,126 @@
+"""LPDDR4 organization and timing specification (paper Table III).
+
+The numbers default to the LPDDR4-2400 configuration used by the paper's
+evaluation: 16 GB total capacity, 128-bit I/O split into 8 channels of
+16 bits, one rank/die per channel, 16 physical banks per die, configurable
+subarrays per bank, and 1 KB row buffers.  Timing parameters are expressed
+in memory-clock cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DRAMTiming", "DRAMOrganization", "DRAMSpec", "LPDDR4_2400"]
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Command-to-command timing constraints in memory-clock cycles."""
+
+    tCL: int = 4      # CAS latency (read command to data)
+    tRCD: int = 4     # activate to read/write
+    tRP: int = 6      # precharge to activate (per bank)
+    tRAS: int = 9     # activate to precharge
+    tCCD: int = 8     # column-to-column delay (burst gap)
+    tRRD: int = 2     # activate-to-activate, different banks
+    tFAW: int = 9     # four-activate window
+    tWR: int = 6      # write recovery
+    tRA: int = 2      # NMP register-to-array read latency (subarray parallelism)
+    tWA: int = 7      # NMP array write latency (subarray parallelism)
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ValueError(f"timing parameter {name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class DRAMOrganization:
+    """Physical organization of the memory system."""
+
+    total_capacity_bytes: int = 16 * 1024**3
+    io_width_bits: int = 128          # full interface width
+    channel_io_bits: int = 16         # per-channel I/O width
+    num_channels: int = 8
+    ranks_per_channel: int = 1
+    chips_per_rank: int = 1
+    banks_per_chip: int = 16
+    subarrays_per_bank: int = 16
+    row_buffer_bytes: int = 1024      # local and global row buffer size
+    prefetch_bits: int = 128          # internal prefetch width per bank
+    clock_mhz: float = 1200.0         # LPDDR4-2400 is DDR at 1200 MHz
+
+    def validate(self) -> None:
+        positive_fields = [
+            "total_capacity_bytes",
+            "io_width_bits",
+            "channel_io_bits",
+            "num_channels",
+            "ranks_per_channel",
+            "chips_per_rank",
+            "banks_per_chip",
+            "subarrays_per_bank",
+            "row_buffer_bytes",
+            "prefetch_bits",
+        ]
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+
+    # ------------------------------------------------------ derived values
+    @property
+    def num_banks_total(self) -> int:
+        return self.num_channels * self.ranks_per_channel * self.chips_per_rank * self.banks_per_chip
+
+    @property
+    def bank_capacity_bytes(self) -> int:
+        return self.total_capacity_bytes // self.num_banks_total
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.bank_capacity_bytes // self.row_buffer_bytes
+
+    @property
+    def rows_per_subarray(self) -> int:
+        return max(1, self.rows_per_bank // self.subarrays_per_bank)
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak external bandwidth in GB/s (DDR: 2 transfers per clock)."""
+        return self.io_width_bits / 8 * self.clock_mhz * 2 * 1e6 / 1e9
+
+    @property
+    def internal_bank_bandwidth_gbps(self) -> float:
+        """Aggregate internal (near-bank) bandwidth exposed to NMP logic.
+
+        Each bank's row buffer provides ``row_buffer_bytes`` per row cycle
+        (approximately tRCD + tCL cycles); NMP logic reads the local row
+        buffer directly, which is the ~10x bandwidth opportunity the paper
+        cites for bank-level NMP.
+        """
+        row_cycle = 8  # conservative cycles to stream one row into the NMP register
+        per_bank = self.row_buffer_bytes * self.clock_mhz * 1e6 / row_cycle / 1e9
+        return per_bank * self.num_banks_total
+
+
+@dataclass(frozen=True)
+class DRAMSpec:
+    """Organization plus timing: everything the simulator needs."""
+
+    organization: DRAMOrganization = field(default_factory=DRAMOrganization)
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+
+    def validate(self) -> None:
+        self.organization.validate()
+        self.timing.validate()
+
+    @property
+    def clock_period_ns(self) -> float:
+        return 1e3 / self.organization.clock_mhz
+
+
+#: The paper's Table III configuration.
+LPDDR4_2400 = DRAMSpec()

@@ -1,0 +1,145 @@
+"""Whole-memory-system simulator: channels, banks, subarrays, energy.
+
+:class:`DRAMSystem` is the substrate shared by the hash-table locality
+experiments (Fig. 6/7/9) and by the NMP accelerator model: it services
+address traces and reports completion time, row-hit/bank-conflict counts,
+achieved bandwidth and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .controller import ChannelController
+from .energy import DRAMEnergyModel, EnergyBreakdown
+from .spec import DRAMSpec, LPDDR4_2400
+from .trace import MemoryRequest, RequestType
+
+__all__ = ["TraceResult", "DRAMSystem"]
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Summary of servicing one trace."""
+
+    total_cycles: int
+    total_requests: int
+    row_hits: int
+    row_misses: int
+    bank_conflicts: int
+    activations: int
+    bytes_transferred: int
+    elapsed_ns: float
+    achieved_bandwidth_gbps: float
+    row_hit_rate: float
+    energy: EnergyBreakdown
+
+    @property
+    def bank_conflict_rate(self) -> float:
+        return self.bank_conflicts / self.total_requests if self.total_requests else 0.0
+
+
+class DRAMSystem:
+    """A multi-channel LPDDR4 memory system with optional NMP-side accounting."""
+
+    def __init__(
+        self,
+        spec: DRAMSpec | None = None,
+        subarrays_per_bank: int | None = None,
+        energy_model: DRAMEnergyModel | None = None,
+    ):
+        self.spec = spec or LPDDR4_2400
+        self.spec.validate()
+        org = self.spec.organization
+        self.subarrays_per_bank = subarrays_per_bank or org.subarrays_per_bank
+        self.channels = [
+            ChannelController(self.spec, channel_id=c, subarrays_per_bank=self.subarrays_per_bank)
+            for c in range(org.num_channels)
+        ]
+        self.energy_model = energy_model or DRAMEnergyModel()
+
+    # ----------------------------------------------------------------- API
+    def reset(self) -> None:
+        for channel in self.channels:
+            channel.reset()
+
+    def service_requests(self, requests: list[MemoryRequest], near_bank: bool = False) -> TraceResult:
+        """Service a request trace and summarise timing, locality and energy.
+
+        Parameters
+        ----------
+        requests:
+            The trace (each request is routed to its channel by address).
+        near_bank:
+            When True, data stays inside the DRAM die (NMP access): no bytes
+            cross the external I/O interface, which reduces I/O energy —
+            the accounting behind the Fig. 11(b) energy-efficiency gains.
+        """
+        self.reset()
+        org = self.spec.organization
+        per_channel: dict[int, list[MemoryRequest]] = {c: [] for c in range(org.num_channels)}
+        for request in requests:
+            channel = int(self.channels[0].mapper.decode_array([request.address])[0][0])
+            per_channel[channel % org.num_channels].append(request)
+
+        finish_cycles = [
+            self.channels[c].service_all(reqs) for c, reqs in per_channel.items() if reqs
+        ]
+        total_cycles = int(max(finish_cycles)) if finish_cycles else 0
+        return self._summarise(total_cycles, near_bank=near_bank)
+
+    def service_addresses(
+        self,
+        addresses: np.ndarray,
+        request_type: RequestType = RequestType.READ,
+        size_bytes: int = 32,
+        near_bank: bool = False,
+    ) -> TraceResult:
+        """Convenience wrapper building a back-pressured trace from addresses."""
+        requests = [
+            MemoryRequest(int(a), request_type, size_bytes) for a in np.asarray(addresses, dtype=np.int64).ravel()
+        ]
+        return self.service_requests(requests, near_bank=near_bank)
+
+    # ------------------------------------------------------------ internals
+    def _summarise(self, total_cycles: int, near_bank: bool) -> TraceResult:
+        org = self.spec.organization
+        requests = sum(c.stats.requests for c in self.channels)
+        row_hits = sum(c.stats.row_hits for c in self.channels)
+        row_misses = sum(c.stats.row_misses for c in self.channels)
+        conflicts = sum(c.stats.bank_conflicts for c in self.channels)
+        activations = sum(c.stats.activations for c in self.channels)
+        transferred = sum(c.stats.bytes_transferred for c in self.channels)
+        elapsed_ns = total_cycles * self.spec.clock_period_ns
+        bandwidth = transferred / max(elapsed_ns, 1e-9)  # bytes/ns == GB/s
+        energy = self.energy_model.energy(
+            activations=activations,
+            bytes_accessed=transferred,
+            bytes_on_io=0 if near_bank else transferred,
+            elapsed_seconds=elapsed_ns * 1e-9,
+        )
+        total = row_hits + row_misses
+        return TraceResult(
+            total_cycles=total_cycles,
+            total_requests=requests,
+            row_hits=row_hits,
+            row_misses=row_misses,
+            bank_conflicts=conflicts,
+            activations=activations,
+            bytes_transferred=transferred,
+            elapsed_ns=elapsed_ns,
+            achieved_bandwidth_gbps=float(bandwidth),
+            row_hit_rate=row_hits / total if total else 0.0,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------ metadata
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        return self.spec.organization.peak_bandwidth_gbps
+
+    @property
+    def num_banks(self) -> int:
+        return self.spec.organization.num_banks_total

@@ -1,0 +1,37 @@
+"""Experiment harnesses: one runner per paper table/figure.
+
+Every ``run_*`` function returns an :class:`repro.experiments.runner.ExperimentResult`
+whose rows are the same quantities the paper's table or figure reports; the
+benchmarks print them and assert the expected shape.
+"""
+
+from .fig01_training_time import run_fig01
+from .fig04_utilization import run_fig04
+from .fig06_index_distance import run_fig06
+from .fig07_locality import run_fig07
+from .fig09_bank_conflicts import run_fig09
+from .fig10_parallelism import run_fig10
+from .fig11_speedup_energy import run_fig11
+from .runner import ExperimentResult, format_series, format_table
+from .tab01_gpu_specs import run_tab01
+from .tab02_step_sizes import run_tab02
+from .tab03_accel_config import run_tab03
+from .tab04_psnr import QualityRunConfig, run_tab04
+
+__all__ = [
+    "run_fig01",
+    "run_fig04",
+    "run_fig06",
+    "run_fig07",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "ExperimentResult",
+    "format_series",
+    "format_table",
+    "run_tab01",
+    "run_tab02",
+    "run_tab03",
+    "QualityRunConfig",
+    "run_tab04",
+]

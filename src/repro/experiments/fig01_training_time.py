@@ -1,0 +1,41 @@
+"""Fig. 1: iNGP training time on a cloud vs an edge GPU, and its breakdown."""
+
+from __future__ import annotations
+
+from ..gpu.profiler import GPUProfiler
+from ..gpu.specs import RTX_2080TI, XNX, GPUSpec
+from .runner import ExperimentResult
+
+__all__ = ["run_fig01"]
+
+#: Paper-reported reference values for the shape check.
+PAPER_TRAINING_SECONDS = {"XNX": 7088.8, "2080Ti": 305.8}
+PAPER_XNX_BREAKDOWN = {"HT": 0.341, "HT_b": 0.305, "bottleneck_total": 0.764}
+
+
+def run_fig01(gpus: tuple[GPUSpec, ...] = (RTX_2080TI, XNX)) -> ExperimentResult:
+    """Reproduce Fig. 1(a) (training time) and Fig. 1(b) (breakdown).
+
+    Returns one row per device with the modelled per-scene training time,
+    the paper's measured time, and the per-step breakdown fractions.
+    """
+    rows = []
+    for gpu in gpus:
+        profile = GPUProfiler.for_gpu(gpu).profile_scene()
+        row = {
+            "device": gpu.name,
+            "modelled_s_per_scene": profile.training_seconds,
+            "paper_s_per_scene": PAPER_TRAINING_SECONDS.get(gpu.name, float("nan")),
+            "bottleneck_fraction": profile.bottleneck_fraction(),
+        }
+        row.update({f"frac_{step}": frac for step, frac in profile.breakdown.items()})
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="Fig. 1",
+        description="iNGP per-scene training time and per-step breakdown (cloud vs edge GPU)",
+        rows=rows,
+        notes=(
+            "Times come from the roofline model driven by Table II traffic and the paper's "
+            "measured per-step DRAM utilizations; the paper's absolute numbers are listed for reference."
+        ),
+    )

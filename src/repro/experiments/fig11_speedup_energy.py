@@ -1,0 +1,59 @@
+"""Fig. 11: speedup and energy-efficiency of the Instant-NeRF accelerator."""
+
+from __future__ import annotations
+
+from ..core.codesign import SCENE_DIFFICULTY, AlgorithmConfig, InstantNeRFSystem
+from ..gpu.specs import TX2, XNX
+from .runner import ExperimentResult
+
+__all__ = ["run_fig11", "PAPER_RANGES"]
+
+#: Paper-reported ranges across the eight scenes.
+PAPER_RANGES = {
+    ("XNX", "speedup"): (22.0, 49.3),
+    ("TX2", "speedup"): (109.5, 266.1),
+    ("XNX", "energy"): (46.4, 103.7),
+    ("TX2", "energy"): (172.9, 420.3),
+}
+
+
+def run_fig11(
+    system: InstantNeRFSystem | None = None,
+    scenes: tuple[str, ...] | None = None,
+    use_measured_gpu_time: bool = True,
+) -> ExperimentResult:
+    """Per-scene speedup and energy-efficiency improvement over TX2 and XNX.
+
+    The accelerator runs the Instant-NeRF algorithm (Morton hash + ray-first
+    streaming) with the heterogeneous inter-bank parallelism plan; the GPU
+    baselines run iNGP.  By default the GPU side uses the paper's measured
+    per-scene-average training times (Table I) scaled by per-scene
+    difficulty; set ``use_measured_gpu_time=False`` to use the roofline model
+    for both sides.
+    """
+    system = system or InstantNeRFSystem(AlgorithmConfig.instant_nerf())
+    scenes = scenes or tuple(SCENE_DIFFICULTY)
+    rows = []
+    for scene in scenes:
+        row: dict = {"scene": scene}
+        for gpu in (TX2, XNX):
+            comparisons = system.compare_against(gpu, [scene], use_measured_gpu_time=use_measured_gpu_time)
+            comparison = comparisons[0]
+            row[f"speedup_vs_{gpu.name}"] = comparison.speedup
+            row[f"energy_improvement_vs_{gpu.name}"] = comparison.energy_efficiency_improvement
+        rows.append(row)
+    summary = {"scene": "AVERAGE"}
+    for key in rows[0]:
+        if key == "scene":
+            continue
+        summary[key] = sum(row[key] for row in rows) / len(rows)
+    rows.append(summary)
+    return ExperimentResult(
+        experiment_id="Fig. 11",
+        description="Instant-NeRF accelerator speedup and energy-efficiency vs TX2/XNX, per scene",
+        rows=rows,
+        notes=(
+            "Paper ranges: 109.5x-266.1x (TX2) and 22.0x-49.3x (XNX) speedup; 172.9x-420.3x (TX2) and "
+            "46.4x-103.7x (XNX) energy-efficiency improvement."
+        ),
+    )

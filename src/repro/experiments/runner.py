@@ -1,0 +1,74 @@
+"""Shared helpers for the experiment harnesses: result containers and
+plain-text table rendering (the benchmarks print the same rows/series the
+paper's tables and figures report)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table", "format_series"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference, e.g. ``"Fig. 6"`` or ``"Table IV"``.
+    description:
+        One-line description of what is reproduced.
+    rows:
+        List of row dictionaries (column name -> value).
+    notes:
+        Free-form notes (scale-downs, substitutions, expected shape).
+    """
+
+    experiment_id: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        header = f"{self.experiment_id}: {self.description}"
+        table = format_table(self.rows)
+        parts = [header, table]
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render a list of row dicts as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    lines.extend("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: list[float], precision: int = 3) -> str:
+    """Render a named numeric series on one line (for figure-style output)."""
+    formatted = ", ".join(f"{v:.{precision}g}" for v in values)
+    return f"{name}: [{formatted}]"

@@ -1,0 +1,21 @@
+"""Edge/cloud GPU baselines: Table I specs, roofline model and profiler."""
+
+from .profiler import GPUProfiler, KernelProfile, SceneProfile
+from .roofline import MEASURED_DRAM_UTILIZATION, RooflineModel, StepTiming
+from .specs import ALL_GPUS, QUEST_PRO, RTX_2080TI, TX2, XNX, GPUSpec, get_gpu
+
+__all__ = [
+    "GPUProfiler",
+    "KernelProfile",
+    "SceneProfile",
+    "MEASURED_DRAM_UTILIZATION",
+    "RooflineModel",
+    "StepTiming",
+    "ALL_GPUS",
+    "QUEST_PRO",
+    "RTX_2080TI",
+    "TX2",
+    "XNX",
+    "GPUSpec",
+    "get_gpu",
+]

@@ -1,0 +1,119 @@
+"""Analytical stand-in for the paper's nvprof profiling (Fig. 1 and Fig. 4).
+
+:class:`GPUProfiler` applies the roofline model to the iNGP workload and
+produces the two profiling artefacts the paper reports:
+
+* the per-scene training time and its per-step breakdown (Fig. 1), and
+* the per-step DRAM read/write throughput plus FP32/FP16/INT32 utilization
+  (Fig. 4), from which the "memory-bandwidth-bound" diagnosis follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.steps import StepName
+from .roofline import RooflineModel
+from .specs import GPUSpec
+
+__all__ = ["KernelProfile", "SceneProfile", "GPUProfiler"]
+
+#: Steps whose traffic is predominantly writes (gradient updates).
+_WRITE_HEAVY = {StepName.HT_BACKWARD, StepName.MLP_DENSITY_BACKWARD, StepName.MLP_COLOR_BACKWARD}
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-step profiling counters (one training iteration)."""
+
+    step: StepName
+    seconds: float
+    dram_read_gbps: float
+    dram_write_gbps: float
+    dram_bandwidth_utilization: float
+    fp32_utilization: float
+    fp16_utilization: float
+    int32_utilization: float
+    memory_bound: bool
+
+    @property
+    def bandwidth_to_compute_ratio(self) -> float:
+        """How much higher the DRAM utilization is than the busiest ALU/FPU.
+
+        The paper reports 5.24x–21.44x for the bottleneck steps.
+        """
+        compute = max(self.fp32_utilization, self.fp16_utilization, self.int32_utilization, 1e-9)
+        return self.dram_bandwidth_utilization / compute
+
+
+@dataclass(frozen=True)
+class SceneProfile:
+    """Whole-scene training profile on one device (Fig. 1)."""
+
+    gpu_name: str
+    training_seconds: float
+    breakdown: dict[str, float]
+    kernels: dict[str, KernelProfile]
+
+    def bottleneck_fraction(self) -> float:
+        """Fraction of time in HT, HT_b and the MLP kernels (paper: 76.4 %)."""
+        other = self.breakdown.get(StepName.OTHER.value, 0.0)
+        return 1.0 - other
+
+
+class GPUProfiler:
+    """Produces Fig. 1 / Fig. 4-style profiles for a GPU device."""
+
+    def __init__(self, model: RooflineModel):
+        self.model = model
+
+    @classmethod
+    def for_gpu(cls, gpu: GPUSpec, **kwargs) -> "GPUProfiler":
+        return cls(RooflineModel(gpu, **kwargs))
+
+    # ------------------------------------------------------------- kernels
+    def profile_step(self, name: StepName) -> KernelProfile:
+        timing = self.model.step_timing(name)
+        gpu = self.model.gpu
+        seconds = timing.seconds
+        bytes_per_second = timing.effective_bytes / seconds if seconds > 0 else 0.0
+        # Read/write split: forward steps read parameters/inputs and write a
+        # smaller output; backward steps write gradients.
+        write_fraction = 0.55 if name in _WRITE_HEAVY else 0.15
+        dram_read = bytes_per_second * (1.0 - write_fraction) / 1e9
+        dram_write = bytes_per_second * write_fraction / 1e9
+        utilization = bytes_per_second / (gpu.dram_bandwidth_gbps * 1e9)
+
+        fp_ops_per_second = timing.fp_ops / seconds if seconds > 0 else 0.0
+        int_ops_per_second = timing.int_ops / seconds if seconds > 0 else 0.0
+        # The fused iNGP kernels execute their floating-point math on the
+        # half-precision pipelines; only a small scalar epilogue runs in FP32.
+        fp32_util = min(1.0, 0.05 * fp_ops_per_second / (gpu.fp32_gflops * 1e9))
+        fp16_util = min(1.0, fp_ops_per_second / (gpu.fp16_gflops * 1e9))
+        int32_util = min(1.0, int_ops_per_second / (gpu.int32_gops * 1e9))
+        return KernelProfile(
+            step=name,
+            seconds=seconds,
+            dram_read_gbps=dram_read,
+            dram_write_gbps=dram_write,
+            dram_bandwidth_utilization=utilization,
+            fp32_utilization=fp32_util,
+            fp16_utilization=fp16_util,
+            int32_utilization=int32_util,
+            memory_bound=timing.memory_bound,
+        )
+
+    # --------------------------------------------------------------- scene
+    def profile_scene(self) -> SceneProfile:
+        kernels = {name.value: self.profile_step(name) for name in StepName}
+        return SceneProfile(
+            gpu_name=self.model.gpu.name,
+            training_seconds=self.model.scene_training_seconds(),
+            breakdown=self.model.breakdown(),
+            kernels=kernels,
+        )
+
+    def bottleneck_steps(self, threshold: float = 0.05) -> list[StepName]:
+        """Steps that exceed ``threshold`` of total training time."""
+        breakdown = self.model.breakdown()
+        return [name for name in StepName if breakdown[name.value] >= threshold and name is not StepName.OTHER]

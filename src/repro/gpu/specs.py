@@ -1,0 +1,126 @@
+"""GPU device specifications (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "XNX", "TX2", "RTX_2080TI", "QUEST_PRO", "ALL_GPUS", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Device parameters that drive the roofline/profiling models.
+
+    Attributes mirror the rows of Table I: process node, board power, DRAM
+    interface and bandwidth, L2 cache, and FP32/INT32/FP16 peak throughput.
+    ``measured_training_s`` is the per-scene iNGP training time the paper
+    reports for the device (N/A for Quest Pro).
+    """
+
+    name: str
+    technology_nm: int
+    power_w: float
+    dram_interface_bits: int
+    dram_capacity_gb: float
+    dram_type: str
+    dram_bandwidth_gbps: float
+    l2_cache_mb: float
+    fp32_gflops: float
+    fp16_gflops: float
+    int32_gops: float
+    measured_training_s: float | None = None
+    is_edge: bool = True
+
+    def validate(self) -> None:
+        for field_name in (
+            "technology_nm",
+            "power_w",
+            "dram_interface_bits",
+            "dram_capacity_gb",
+            "dram_bandwidth_gbps",
+            "l2_cache_mb",
+            "fp32_gflops",
+            "fp16_gflops",
+            "int32_gops",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive for {self.name}")
+
+
+#: NVIDIA Jetson Xavier NX 16GB — the paper's primary edge baseline.
+XNX = GPUSpec(
+    name="XNX",
+    technology_nm=16,
+    power_w=20.0,
+    dram_interface_bits=128,
+    dram_capacity_gb=16.0,
+    dram_type="LPDDR4x",
+    dram_bandwidth_gbps=59.7,
+    l2_cache_mb=0.5,
+    fp32_gflops=885.0,
+    fp16_gflops=1690.0,
+    int32_gops=885.0,
+    measured_training_s=7088.0,
+    is_edge=True,
+)
+
+#: NVIDIA Jetson TX2.
+TX2 = GPUSpec(
+    name="TX2",
+    technology_nm=16,
+    power_w=15.0,
+    dram_interface_bits=128,
+    dram_capacity_gb=8.0,
+    dram_type="LPDDR4",
+    dram_bandwidth_gbps=25.6,
+    l2_cache_mb=0.5,
+    fp32_gflops=750.0,
+    fp16_gflops=1500.0,
+    int32_gops=750.0,
+    measured_training_s=44653.0,
+    is_edge=True,
+)
+
+#: NVIDIA GeForce RTX 2080 Ti — the paper's cloud baseline.
+RTX_2080TI = GPUSpec(
+    name="2080Ti",
+    technology_nm=12,
+    power_w=250.0,
+    dram_interface_bits=352,
+    dram_capacity_gb=11.0,
+    dram_type="GDDR6",
+    dram_bandwidth_gbps=616.0,
+    l2_cache_mb=5.5,
+    fp32_gflops=13450.0,
+    fp16_gflops=26900.0,
+    int32_gops=13450.0,
+    measured_training_s=306.0,
+    is_edge=False,
+)
+
+#: Qualcomm Adreno 650 (Meta Quest Pro) — listed for context in Table I.
+QUEST_PRO = GPUSpec(
+    name="QuestPro",
+    technology_nm=7,
+    power_w=5.0,
+    dram_interface_bits=64,
+    dram_capacity_gb=12.0,
+    dram_type="LPDDR5",
+    dram_bandwidth_gbps=44.0,
+    l2_cache_mb=1.0,
+    fp32_gflops=955.0,
+    fp16_gflops=1850.0,
+    int32_gops=955.0,
+    measured_training_s=None,
+    is_edge=True,
+)
+
+ALL_GPUS = {gpu.name: gpu for gpu in (XNX, TX2, RTX_2080TI, QUEST_PRO)}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a device spec by its Table I name (case-insensitive)."""
+    for key, gpu in ALL_GPUS.items():
+        if key.lower() == name.lower():
+            return gpu
+    raise KeyError(f"unknown GPU {name!r}; available: {', '.join(ALL_GPUS)}")

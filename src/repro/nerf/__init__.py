@@ -1,0 +1,41 @@
+"""NeRF / iNGP training substrate: encodings, fields, rendering, training."""
+
+from .adam import Adam
+from .baselines import FastNeRFField, TensoRFField
+from .encoding import FrequencyEncoding, HashGridConfig, HashGridEncoding, level_resolutions
+from .field import InstantNGPField, RadianceField, VanillaNeRFField
+from .losses import huber_loss, mse_loss
+from .metrics import mse, psnr, ssim
+from .mlp import MLP
+from .rays import RayBundle, generate_rays, sample_along_rays, stratified_t_values
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .volume_rendering import RenderOutput, render_rays, render_rays_backward
+
+__all__ = [
+    "Adam",
+    "FastNeRFField",
+    "TensoRFField",
+    "FrequencyEncoding",
+    "HashGridConfig",
+    "HashGridEncoding",
+    "level_resolutions",
+    "InstantNGPField",
+    "RadianceField",
+    "VanillaNeRFField",
+    "huber_loss",
+    "mse_loss",
+    "mse",
+    "psnr",
+    "ssim",
+    "MLP",
+    "RayBundle",
+    "generate_rays",
+    "sample_along_rays",
+    "stratified_t_values",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "RenderOutput",
+    "render_rays",
+    "render_rays_backward",
+]

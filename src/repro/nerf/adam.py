@@ -1,0 +1,64 @@
+"""Adam optimizer for plain-NumPy parameter lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with the standard bias-corrected first/second moment estimates.
+
+    The optimizer holds *references* to the parameter and gradient arrays and
+    updates the parameters in place, so modules keep owning their storage
+    (mirroring how the embedding tables and MLP weights live in DRAM in the
+    accelerator model).
+    """
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        epsilon: float = 1e-10,
+        weight_decay: float = 0.0,
+    ):
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must have the same length")
+        for p, g in zip(parameters, gradients):
+            if p.shape != g.shape:
+                raise ValueError(f"parameter shape {p.shape} does not match gradient shape {g.shape}")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m = [np.zeros_like(p, dtype=np.float32) for p in parameters]
+        self._v = [np.zeros_like(p, dtype=np.float32) for p in parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the currently accumulated gradients."""
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for p, g, m, v in zip(self.parameters, self.gradients, self._m, self._v):
+            grad = g
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p
+            m[...] = self.beta1 * m + (1.0 - self.beta1) * grad
+            v[...] = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= (self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)).astype(p.dtype)
+
+    def zero_grad(self) -> None:
+        for g in self.gradients:
+            g[...] = 0.0

@@ -1,0 +1,260 @@
+"""Reduced-fidelity baseline radiance fields for the Table IV comparison.
+
+The paper compares the Instant-NeRF algorithm against vanilla NeRF [13],
+FastNeRF [5] and TensoRF [2].  Vanilla NeRF lives in
+:class:`repro.nerf.field.VanillaNeRFField`; this module implements compact
+versions of the other two that keep their *structural* ideas:
+
+* :class:`FastNeRFField` — factorises the radiance function into a
+  position-dependent branch producing ``D`` color components and a
+  direction-dependent branch producing ``D`` mixing weights
+  (``rgb = sigmoid(sum_d beta_d(view) * u_d(pos))``), which is what makes
+  FastNeRF cacheable.
+* :class:`TensoRFField` — represents density and appearance with a CP
+  (rank-``R``) factorisation over three axis-aligned 1-D line factors with
+  linear interpolation, followed by a small color MLP.
+
+Both implement the :class:`repro.nerf.field.RadianceField` interface with
+hand-written gradients so the shared trainer can optimise them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .encoding import FrequencyEncoding
+from .field import RadianceField, _check_inputs
+from .mlp import MLP, sigmoid, sigmoid_grad, softplus, softplus_grad
+
+__all__ = ["FastNeRFField", "TensoRFField"]
+
+
+class FastNeRFField(RadianceField):
+    """Position/direction factorised field in the spirit of FastNeRF."""
+
+    name = "fastnerf"
+
+    def __init__(
+        self,
+        num_components: int = 6,
+        pos_frequencies: int = 8,
+        dir_frequencies: int = 4,
+        hidden_dim: int = 96,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.num_components = int(num_components)
+        self.pos_encoding = FrequencyEncoding(3, pos_frequencies, include_input=True)
+        self.dir_encoding = FrequencyEncoding(3, dir_frequencies, include_input=True)
+        # F_pos: sigma + D color components (each a 3-vector).
+        self.pos_mlp = MLP(
+            [self.pos_encoding.output_dim, hidden_dim, hidden_dim, 1 + 3 * self.num_components],
+            rng=rng,
+        )
+        # F_dir: D mixing weights.
+        self.dir_mlp = MLP([self.dir_encoding.output_dim, hidden_dim // 2, self.num_components], rng=rng)
+        self._cache: dict | None = None
+
+    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        positions, directions = _check_inputs(positions, directions)
+        n = positions.shape[0]
+        d = self.num_components
+        pos_out = self.pos_mlp.forward(self.pos_encoding.forward(positions))
+        dir_out = self.dir_mlp.forward(self.dir_encoding.forward(directions))
+        sigma_logit = pos_out[:, 0]
+        sigma = softplus(sigma_logit)
+        components = pos_out[:, 1:].reshape(n, d, 3)
+        beta = dir_out  # (N, D) raw mixing weights
+        rgb_logit = np.einsum("nd,ndc->nc", beta, components)
+        rgb = sigmoid(rgb_logit)
+        self._cache = {
+            "sigma_logit": sigma_logit,
+            "sigma": sigma,
+            "components": components,
+            "beta": beta,
+            "rgb_logit": rgb_logit,
+            "rgb": rgb,
+            "n": n,
+        }
+        return sigma.astype(np.float64), rgb.astype(np.float64)
+
+    def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        c = self._cache
+        n, d = c["n"], self.num_components
+        grad_sigma = np.asarray(grad_sigma, dtype=np.float32).reshape(n)
+        grad_rgb = np.asarray(grad_rgb, dtype=np.float32).reshape(n, 3)
+
+        grad_rgb_logit = grad_rgb * sigmoid_grad(c["rgb_logit"], c["rgb"])  # (N, 3)
+        grad_beta = np.einsum("nc,ndc->nd", grad_rgb_logit, c["components"])
+        grad_components = np.einsum("nd,nc->ndc", c["beta"], grad_rgb_logit)
+
+        grad_pos_out = np.zeros((n, 1 + 3 * d), dtype=np.float32)
+        grad_pos_out[:, 0] = grad_sigma * softplus_grad(c["sigma_logit"], c["sigma"])
+        grad_pos_out[:, 1:] = grad_components.reshape(n, 3 * d)
+        self.pos_mlp.backward(grad_pos_out)
+        self.dir_mlp.backward(grad_beta.astype(np.float32))
+
+    def parameters(self) -> list[np.ndarray]:
+        return [*self.pos_mlp.parameters(), *self.dir_mlp.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [*self.pos_mlp.gradients(), *self.dir_mlp.gradients()]
+
+    def zero_grad(self) -> None:
+        self.pos_mlp.zero_grad()
+        self.dir_mlp.zero_grad()
+
+
+class _LineFactorSet:
+    """Rank-``R`` CP line factors along the three axes with linear interp.
+
+    Stores three arrays of shape ``(R, resolution)``.  ``evaluate`` returns
+    the per-rank product ``vx_r(x) * vy_r(y) * vz_r(z)`` and caches the
+    interpolation weights for the backward pass.
+    """
+
+    def __init__(self, rank: int, resolution: int, rng: np.random.Generator, scale: float = 0.1):
+        if rank <= 0 or resolution < 2:
+            raise ValueError("rank must be positive and resolution >= 2")
+        self.rank = rank
+        self.resolution = resolution
+        self.lines = [rng.normal(0.0, scale, size=(rank, resolution)).astype(np.float32) for _ in range(3)]
+        self.grads = [np.zeros_like(line) for line in self.lines]
+        self._cache: dict | None = None
+
+    def _interp(self, coords_axis: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Linear-interpolation indices/weights along one axis."""
+        scaled = np.clip(coords_axis, 0.0, 1.0) * (self.resolution - 1)
+        lo = np.floor(scaled).astype(np.int64)
+        lo = np.clip(lo, 0, self.resolution - 2)
+        frac = (scaled - lo).astype(np.float32)
+        return lo, lo + 1, frac
+
+    def evaluate(self, positions: np.ndarray) -> np.ndarray:
+        """Per-rank factor products for positions in [0,1]^3, shape (N, R)."""
+        n = positions.shape[0]
+        axis_values = []
+        cache_axes = []
+        for axis in range(3):
+            lo, hi, frac = self._interp(positions[:, axis])
+            line = self.lines[axis]  # (R, res)
+            val = line[:, lo] * (1.0 - frac)[None, :] + line[:, hi] * frac[None, :]  # (R, N)
+            axis_values.append(val)
+            cache_axes.append((lo, hi, frac))
+        prod = axis_values[0] * axis_values[1] * axis_values[2]  # (R, N)
+        self._cache = {"axis_values": axis_values, "axes": cache_axes, "n": n}
+        return prod.T  # (N, R)
+
+    def backward(self, grad_prod: np.ndarray) -> None:
+        """Accumulate gradients given ``dL/d(prod)`` of shape (N, R)."""
+        if self._cache is None:
+            raise RuntimeError("backward() before evaluate()")
+        c = self._cache
+        grad_prod = np.asarray(grad_prod, dtype=np.float32).T  # (R, N)
+        axis_values = c["axis_values"]
+        for axis in range(3):
+            others = grad_prod.copy()
+            for other_axis in range(3):
+                if other_axis != axis:
+                    others = others * axis_values[other_axis]
+            lo, hi, frac = c["axes"][axis]
+            np.add.at(self.grads[axis].T, lo, (others * (1.0 - frac)[None, :]).T)
+            np.add.at(self.grads[axis].T, hi, (others * frac[None, :]).T)
+
+    def parameters(self) -> list[np.ndarray]:
+        return list(self.lines)
+
+    def gradients(self) -> list[np.ndarray]:
+        return list(self.grads)
+
+
+class TensoRFField(RadianceField):
+    """CP-factorised tensorial radiance field (TensoRF-CP, reduced scale)."""
+
+    name = "tensorf"
+
+    def __init__(
+        self,
+        density_rank: int = 8,
+        appearance_rank: int = 16,
+        resolution: int = 128,
+        appearance_features: int = 12,
+        dir_frequencies: int = 2,
+        hidden_dim: int = 64,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.density_factors = _LineFactorSet(density_rank, resolution, rng)
+        self.appearance_factors = _LineFactorSet(appearance_rank, resolution, rng)
+        self.appearance_features = int(appearance_features)
+        # Per-rank feature basis mapping appearance ranks to a feature vector.
+        self.basis = rng.normal(0.0, 0.2, size=(appearance_rank, appearance_features)).astype(np.float32)
+        self.basis_grad = np.zeros_like(self.basis)
+        self.dir_encoding = FrequencyEncoding(3, dir_frequencies, include_input=True)
+        self.color_mlp = MLP(
+            [appearance_features + self.dir_encoding.output_dim, hidden_dim, 3],
+            rng=rng,
+        )
+        self._cache: dict | None = None
+
+    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        positions, directions = _check_inputs(positions, directions)
+        density_prod = self.density_factors.evaluate(positions)  # (N, Rd)
+        sigma_logit = density_prod.sum(axis=1)
+        sigma = softplus(sigma_logit)
+        app_prod = self.appearance_factors.evaluate(positions)  # (N, Ra)
+        features = app_prod @ self.basis  # (N, F)
+        dir_enc = self.dir_encoding.forward(directions)
+        color_in = np.concatenate([features, dir_enc], axis=1).astype(np.float32)
+        rgb_logit = self.color_mlp.forward(color_in)
+        rgb = sigmoid(rgb_logit)
+        self._cache = {
+            "sigma_logit": sigma_logit,
+            "sigma": sigma,
+            "app_prod": app_prod,
+            "rgb_logit": rgb_logit,
+            "rgb": rgb,
+            "n": positions.shape[0],
+        }
+        return sigma.astype(np.float64), rgb.astype(np.float64)
+
+    def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        c = self._cache
+        n = c["n"]
+        grad_sigma = np.asarray(grad_sigma, dtype=np.float32).reshape(n)
+        grad_rgb = np.asarray(grad_rgb, dtype=np.float32).reshape(n, 3)
+
+        grad_rgb_logit = grad_rgb * sigmoid_grad(c["rgb_logit"], c["rgb"])
+        grad_color_in = self.color_mlp.backward(grad_rgb_logit)
+        grad_features = grad_color_in[:, : self.appearance_features]
+        self.basis_grad += c["app_prod"].T @ grad_features
+        grad_app_prod = grad_features @ self.basis.T
+        self.appearance_factors.backward(grad_app_prod)
+
+        grad_sigma_logit = grad_sigma * softplus_grad(c["sigma_logit"], c["sigma"])
+        grad_density_prod = np.repeat(grad_sigma_logit[:, None], self.density_factors.rank, axis=1)
+        self.density_factors.backward(grad_density_prod)
+
+    def parameters(self) -> list[np.ndarray]:
+        return [
+            *self.density_factors.parameters(),
+            *self.appearance_factors.parameters(),
+            self.basis,
+            *self.color_mlp.parameters(),
+        ]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [
+            *self.density_factors.gradients(),
+            *self.appearance_factors.gradients(),
+            self.basis_grad,
+            *self.color_mlp.gradients(),
+        ]
+
+    def zero_grad(self) -> None:
+        for g in self.gradients():
+            g[...] = 0.0

@@ -1,0 +1,263 @@
+"""Input encodings for radiance fields.
+
+Two encodings are provided:
+
+* :class:`HashGridEncoding` — iNGP's multi-resolution hash encoding with a
+  pluggable hash mapping function (original prime-XOR or Instant-NeRF's
+  Morton locality hash) and trilinear interpolation, including the backward
+  pass that scatters gradients into the embedding tables.
+* :class:`FrequencyEncoding` — the sinusoidal positional encoding of vanilla
+  NeRF, used by the vanilla-NeRF baseline and for view-direction encoding.
+
+Both are pure NumPy with hand-written reverse-mode gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.hashing import DenseGridIndexer, HashFunction, OriginalSpatialHash
+
+__all__ = [
+    "HashGridConfig",
+    "HashGridEncoding",
+    "FrequencyEncoding",
+    "level_resolutions",
+]
+
+
+def level_resolutions(num_levels: int, base_resolution: int, max_resolution: int) -> list[int]:
+    """Per-level grid resolutions following iNGP's geometric progression.
+
+    ``N_l = floor(N_min * b**l)`` with the growth factor ``b`` chosen so that
+    level ``L-1`` reaches ``max_resolution``.
+    """
+    if num_levels <= 0:
+        raise ValueError("num_levels must be positive")
+    if base_resolution <= 0 or max_resolution < base_resolution:
+        raise ValueError("require 0 < base_resolution <= max_resolution")
+    if num_levels == 1:
+        return [base_resolution]
+    growth = np.exp((np.log(max_resolution) - np.log(base_resolution)) / (num_levels - 1))
+    return [int(np.floor(base_resolution * growth**level)) for level in range(num_levels)]
+
+
+@dataclass
+class HashGridConfig:
+    """Configuration of the multi-resolution hash table.
+
+    Paper-scale defaults match iNGP: ``L=16`` levels, ``T=2**19`` entries per
+    level, ``F=2`` features per entry, base resolution 16, finest 2048.
+    """
+
+    num_levels: int = 16
+    table_size: int = 2**19
+    features_per_entry: int = 2
+    base_resolution: int = 16
+    max_resolution: int = 2048
+    hash_fn: HashFunction = field(default_factory=OriginalSpatialHash)
+
+    @property
+    def resolutions(self) -> list[int]:
+        return level_resolutions(self.num_levels, self.base_resolution, self.max_resolution)
+
+    @property
+    def output_dim(self) -> int:
+        return self.num_levels * self.features_per_entry
+
+    def level_table_entries(self, level: int) -> int:
+        """Actual number of table entries used by a level.
+
+        Coarse levels whose dense grid is smaller than ``T`` store the grid
+        directly (dense indexing); finer levels use ``T`` hashed entries.
+        """
+        res = self.resolutions[level]
+        dense = (res + 1) ** 3
+        return min(dense, self.table_size)
+
+    def level_uses_hash(self, level: int) -> bool:
+        res = self.resolutions[level]
+        return (res + 1) ** 3 > self.table_size
+
+    def table_bytes(self, dtype_bytes: int = 4) -> int:
+        """Total hash-table parameter footprint in bytes."""
+        total_entries = sum(self.level_table_entries(lvl) for lvl in range(self.num_levels))
+        return total_entries * self.features_per_entry * dtype_bytes
+
+
+class HashGridEncoding:
+    """Multi-resolution hash encoding (iNGP Steps (1)-(4)).
+
+    The forward pass implements, per level: hashing of the 8 surrounding cube
+    vertices, embedding lookup, trilinear interpolation, and finally the
+    concatenation across levels.  The backward pass accumulates gradients
+    into the embedding tables with the same trilinear weights.
+    """
+
+    def __init__(self, config: HashGridConfig | None = None, rng: np.random.Generator | None = None):
+        self.config = config or HashGridConfig()
+        rng = rng or np.random.default_rng(0)
+        # iNGP initialises embeddings uniformly in [-1e-4, 1e-4].
+        self.embeddings: list[np.ndarray] = [
+            rng.uniform(-1e-4, 1e-4, size=(self.config.level_table_entries(lvl), self.config.features_per_entry)).astype(
+                np.float32
+            )
+            for lvl in range(self.config.num_levels)
+        ]
+        self.grads: list[np.ndarray] = [np.zeros_like(e) for e in self.embeddings]
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def output_dim(self) -> int:
+        return self.config.output_dim
+
+    def parameters(self) -> list[np.ndarray]:
+        return self.embeddings
+
+    def gradients(self) -> list[np.ndarray]:
+        return self.grads
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+    def num_parameters(self) -> int:
+        return int(sum(e.size for e in self.embeddings))
+
+    # ------------------------------------------------------- index helpers
+    def vertex_indices(self, positions: np.ndarray, level: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Hash-table indices and interpolation weights for one level.
+
+        Parameters
+        ----------
+        positions:
+            ``(N, 3)`` float array with coordinates in ``[0, 1]``.
+        level:
+            Level index in ``[0, L)``.
+
+        Returns
+        -------
+        (indices, weights, base_coords):
+            ``indices`` is ``(N, 8)`` int64 table indices, ``weights`` is the
+            ``(N, 8)`` trilinear weight of each corner, and ``base_coords``
+            is the ``(N, 3)`` integer lower-corner vertex of each cube.
+        """
+        cfg = self.config
+        res = cfg.resolutions[level]
+        pos = np.clip(np.asarray(positions, dtype=np.float64), 0.0, 1.0)
+        scaled = pos * res
+        base = np.floor(scaled).astype(np.int64)
+        base = np.clip(base, 0, res - 1)
+        frac = scaled - base  # in [0, 1)
+
+        offsets = np.array(
+            [[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)], dtype=np.int64
+        )  # (8, 3)
+        corners = base[:, None, :] + offsets[None, :, :]  # (N, 8, 3)
+
+        table_entries = cfg.level_table_entries(level)
+        if cfg.level_uses_hash(level):
+            idx = cfg.hash_fn(corners.reshape(-1, 3), table_entries).reshape(-1, 8)
+        else:
+            idx = DenseGridIndexer(res)(corners.reshape(-1, 3), table_entries).reshape(-1, 8)
+
+        # Trilinear weights: product over axes of (1-frac) or frac per corner.
+        w = np.ones((pos.shape[0], 8), dtype=np.float64)
+        for axis in range(3):
+            take_hi = offsets[:, axis][None, :]  # (1, 8)
+            f = frac[:, axis][:, None]  # (N, 1)
+            w = w * np.where(take_hi == 1, f, 1.0 - f)
+        return idx, w.astype(np.float32), base
+
+    # ------------------------------------------------------------- forward
+    def forward(self, positions: np.ndarray) -> np.ndarray:
+        """Encode positions; returns ``(N, L*F)`` float32 features."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(f"positions must have shape (N, 3), got {positions.shape}")
+        cfg = self.config
+        n = positions.shape[0]
+        features = np.empty((n, cfg.output_dim), dtype=np.float32)
+        cache_levels = []
+        for level in range(cfg.num_levels):
+            idx, w, _ = self.vertex_indices(positions, level)
+            emb = self.embeddings[level][idx]  # (N, 8, F)
+            feat = (emb * w[:, :, None]).sum(axis=1)  # (N, F)
+            lo = level * cfg.features_per_entry
+            features[:, lo : lo + cfg.features_per_entry] = feat
+            cache_levels.append((idx, w))
+        self._cache = {"levels": cache_levels, "n": n}
+        return features
+
+    __call__ = forward
+
+    # ------------------------------------------------------------ backward
+    def backward(self, grad_output: np.ndarray) -> None:
+        """Accumulate embedding-table gradients given ``dL/d(features)``.
+
+        ``grad_output`` has shape ``(N, L*F)`` and must correspond to the
+        most recent :meth:`forward` call.  Positions are treated as constants
+        (iNGP does not back-propagate into sample positions either).
+        """
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        cfg = self.config
+        grad_output = np.asarray(grad_output, dtype=np.float32)
+        expected = (self._cache["n"], cfg.output_dim)
+        if grad_output.shape != expected:
+            raise ValueError(f"grad_output shape {grad_output.shape} != {expected}")
+        for level, (idx, w) in enumerate(self._cache["levels"]):
+            lo = level * cfg.features_per_entry
+            g_feat = grad_output[:, lo : lo + cfg.features_per_entry]  # (N, F)
+            # dL/d emb[idx] = w * g_feat, scatter-added over the 8 corners.
+            contrib = w[:, :, None] * g_feat[:, None, :]  # (N, 8, F)
+            np.add.at(self.grads[level], idx.reshape(-1), contrib.reshape(-1, cfg.features_per_entry))
+
+
+class FrequencyEncoding:
+    """Sinusoidal positional encoding ``gamma(p)`` from vanilla NeRF.
+
+    Maps each input coordinate to ``(sin(2^k pi p), cos(2^k pi p))`` for
+    ``k = 0..num_frequencies-1``, optionally keeping the raw input.
+    """
+
+    def __init__(self, input_dim: int = 3, num_frequencies: int = 10, include_input: bool = True):
+        if input_dim <= 0 or num_frequencies <= 0:
+            raise ValueError("input_dim and num_frequencies must be positive")
+        self.input_dim = input_dim
+        self.num_frequencies = num_frequencies
+        self.include_input = include_input
+        self.freq_bands = (2.0 ** np.arange(num_frequencies)).astype(np.float64) * np.pi
+
+    @property
+    def output_dim(self) -> int:
+        dim = self.input_dim * self.num_frequencies * 2
+        if self.include_input:
+            dim += self.input_dim
+        return dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected shape (N, {self.input_dim}), got {x.shape}")
+        angles = x[:, :, None] * self.freq_bands[None, None, :]  # (N, D, K)
+        enc = np.concatenate(
+            [np.sin(angles).reshape(x.shape[0], -1), np.cos(angles).reshape(x.shape[0], -1)], axis=1
+        )
+        if self.include_input:
+            enc = np.concatenate([x, enc], axis=1)
+        return enc.astype(np.float32)
+
+    __call__ = forward
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+    def zero_grad(self) -> None:  # no trainable state
+        return None

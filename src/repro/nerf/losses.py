@@ -1,0 +1,40 @@
+"""Photometric losses and their gradients (vanilla-NeRF Step (e))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "huber_loss"]
+
+
+def mse_loss(predicted: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean-squared photometric loss ``L = mean((C_hat - C)^2)``.
+
+    Returns ``(loss, grad)`` where ``grad`` is ``dL/dpredicted`` with the
+    same shape as ``predicted``.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if predicted.shape != target.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+    diff = predicted - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def huber_loss(predicted: np.ndarray, target: np.ndarray, delta: float = 0.1) -> tuple[float, np.ndarray]:
+    """Huber loss (quadratic near zero, linear in the tails) and gradient."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    predicted = np.asarray(predicted, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if predicted.shape != target.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+    diff = predicted - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    per_elem = np.where(quadratic, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta))
+    loss = float(per_elem.mean())
+    grad = np.where(quadratic, diff, delta * np.sign(diff)) / diff.size
+    return loss, grad

@@ -1,0 +1,138 @@
+"""Ray generation and point sampling (vanilla-NeRF Steps (a)-(b)).
+
+Rays are parameterised as ``r(t) = o + t * d`` with the camera origin ``o``
+and unit direction ``d``.  Points are sampled along each ray either with
+uniform spacing or stratified (jittered) spacing between the near and far
+planes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RayBundle", "generate_rays", "sample_along_rays", "stratified_t_values"]
+
+
+@dataclass
+class RayBundle:
+    """A batch of rays.
+
+    Attributes
+    ----------
+    origins:
+        ``(R, 3)`` camera-space ray origins (the camera position).
+    directions:
+        ``(R, 3)`` unit direction vectors.
+    pixel_indices:
+        ``(R, 2)`` integer ``(row, col)`` of the pixel each ray goes through,
+        or ``None`` when the bundle is synthetic.
+    """
+
+    origins: np.ndarray
+    directions: np.ndarray
+    pixel_indices: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.origins = np.asarray(self.origins, dtype=np.float64)
+        self.directions = np.asarray(self.directions, dtype=np.float64)
+        if self.origins.shape != self.directions.shape or self.origins.shape[-1] != 3:
+            raise ValueError(
+                f"origins {self.origins.shape} and directions {self.directions.shape} must both be (R, 3)"
+            )
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def select(self, indices: np.ndarray) -> "RayBundle":
+        """Return a sub-bundle with the given ray indices."""
+        pix = None if self.pixel_indices is None else self.pixel_indices[indices]
+        return RayBundle(self.origins[indices], self.directions[indices], pix)
+
+
+def generate_rays(
+    camera_to_world: np.ndarray,
+    intrinsics: np.ndarray,
+    height: int,
+    width: int,
+) -> RayBundle:
+    """Generate one ray per pixel of an image.
+
+    Parameters
+    ----------
+    camera_to_world:
+        ``(4, 4)`` or ``(3, 4)`` camera-to-world pose matrix using the OpenGL
+        convention (camera looks down ``-z``).
+    intrinsics:
+        ``(3, 3)`` pinhole intrinsics ``[[fx, 0, cx], [0, fy, cy], [0, 0, 1]]``.
+    height, width:
+        Image resolution in pixels.
+
+    Returns
+    -------
+    RayBundle
+        One ray per pixel in row-major order, with ``pixel_indices`` filled.
+    """
+    camera_to_world = np.asarray(camera_to_world, dtype=np.float64)
+    intrinsics = np.asarray(intrinsics, dtype=np.float64)
+    if intrinsics.shape != (3, 3):
+        raise ValueError(f"intrinsics must be (3, 3), got {intrinsics.shape}")
+    fx, fy = intrinsics[0, 0], intrinsics[1, 1]
+    cx, cy = intrinsics[0, 2], intrinsics[1, 2]
+
+    rows, cols = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    # Pixel centers.
+    x = (cols + 0.5 - cx) / fx
+    y = -(rows + 0.5 - cy) / fy
+    z = -np.ones_like(x)
+    dirs_cam = np.stack([x, y, z], axis=-1).reshape(-1, 3)
+
+    rotation = camera_to_world[:3, :3]
+    translation = camera_to_world[:3, 3]
+    dirs_world = dirs_cam @ rotation.T
+    dirs_world = dirs_world / np.linalg.norm(dirs_world, axis=-1, keepdims=True)
+    origins = np.broadcast_to(translation, dirs_world.shape).copy()
+    pixel_indices = np.stack([rows.reshape(-1), cols.reshape(-1)], axis=-1)
+    return RayBundle(origins, dirs_world, pixel_indices)
+
+
+def stratified_t_values(
+    num_rays: int,
+    num_samples: int,
+    near: float,
+    far: float,
+    rng: np.random.Generator | None = None,
+    jitter: bool = True,
+) -> np.ndarray:
+    """Sample distances ``t_i`` along rays, shape ``(num_rays, num_samples)``.
+
+    With ``jitter=True`` (training), one uniform sample is drawn per bin
+    (stratified sampling as in vanilla NeRF); otherwise bin centers are used
+    (evaluation/rendering).
+    """
+    if num_samples <= 0 or num_rays <= 0:
+        raise ValueError("num_rays and num_samples must be positive")
+    if far <= near:
+        raise ValueError(f"far ({far}) must exceed near ({near})")
+    edges = np.linspace(near, far, num_samples + 1)
+    lower, upper = edges[:-1], edges[1:]
+    if jitter:
+        rng = rng or np.random.default_rng()
+        u = rng.random((num_rays, num_samples))
+    else:
+        u = np.full((num_rays, num_samples), 0.5)
+    return lower[None, :] + u * (upper - lower)[None, :]
+
+
+def sample_along_rays(
+    rays: RayBundle,
+    t_values: np.ndarray,
+) -> np.ndarray:
+    """Points ``o + t * d`` for every ray/sample pair, shape ``(R, S, 3)``."""
+    t_values = np.asarray(t_values, dtype=np.float64)
+    if t_values.ndim == 1:
+        t_values = np.broadcast_to(t_values, (len(rays), t_values.shape[0]))
+    if t_values.shape[0] != len(rays):
+        raise ValueError(f"t_values first dim {t_values.shape[0]} != number of rays {len(rays)}")
+    return rays.origins[:, None, :] + t_values[:, :, None] * rays.directions[:, None, :]

@@ -1,0 +1,20 @@
+"""Procedural scene library and posed-image dataset substrate."""
+
+from .camera import CameraIntrinsics, look_at, poses_on_sphere
+from .dataset import DatasetConfig, SyntheticNeRFDataset, load_synthetic_dataset
+from .library import SCENE_NAMES, available_scenes, build_scene
+from .primitives import ColoredPrimitive, SDFScene
+
+__all__ = [
+    "CameraIntrinsics",
+    "look_at",
+    "poses_on_sphere",
+    "DatasetConfig",
+    "SyntheticNeRFDataset",
+    "load_synthetic_dataset",
+    "SCENE_NAMES",
+    "available_scenes",
+    "build_scene",
+    "ColoredPrimitive",
+    "SDFScene",
+]

@@ -1,0 +1,95 @@
+"""Pinhole camera model and pose sampling for the procedural scenes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CameraIntrinsics", "look_at", "poses_on_sphere"]
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole intrinsics (square pixels, principal point at image center)."""
+
+    height: int
+    width: int
+    focal: float
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return np.array(
+            [
+                [self.focal, 0.0, self.width / 2.0],
+                [0.0, self.focal, self.height / 2.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    @classmethod
+    def from_fov(cls, height: int, width: int, fov_degrees: float = 50.0) -> "CameraIntrinsics":
+        """Build intrinsics from a horizontal field of view."""
+        if height <= 0 or width <= 0:
+            raise ValueError("height and width must be positive")
+        if not 0 < fov_degrees < 180:
+            raise ValueError("fov_degrees must be in (0, 180)")
+        focal = 0.5 * width / np.tan(0.5 * np.deg2rad(fov_degrees))
+        return cls(height=height, width=width, focal=float(focal))
+
+
+def look_at(eye: np.ndarray, target: np.ndarray, up: np.ndarray | None = None) -> np.ndarray:
+    """Camera-to-world matrix for a camera at ``eye`` looking at ``target``.
+
+    Uses the OpenGL/NeRF convention: camera looks down its ``-z`` axis,
+    ``+x`` to the right, ``+y`` up.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up if up is not None else [0.0, 1.0, 0.0], dtype=np.float64)
+
+    forward = eye - target  # camera -z points from eye to target
+    forward = forward / np.linalg.norm(forward)
+    right = np.cross(up, forward)
+    norm = np.linalg.norm(right)
+    if norm < 1e-8:
+        # Degenerate case: view direction parallel to up; pick another up.
+        up = np.array([0.0, 0.0, 1.0])
+        right = np.cross(up, forward)
+        norm = np.linalg.norm(right)
+    right = right / norm
+    true_up = np.cross(forward, right)
+
+    pose = np.eye(4)
+    pose[:3, 0] = right
+    pose[:3, 1] = true_up
+    pose[:3, 2] = forward
+    pose[:3, 3] = eye
+    return pose
+
+
+def poses_on_sphere(
+    num_poses: int,
+    radius: float = 2.0,
+    elevation_degrees: float = 30.0,
+    target: np.ndarray | None = None,
+    full_circle: bool = True,
+) -> list[np.ndarray]:
+    """Camera poses evenly spaced on a circle at fixed elevation.
+
+    This mimics the hemispherical camera placement of the Synthetic-NeRF
+    captures: cameras orbit the object, all looking at the origin.
+    """
+    if num_poses <= 0:
+        raise ValueError("num_poses must be positive")
+    target = np.zeros(3) if target is None else np.asarray(target, dtype=np.float64)
+    elev = np.deg2rad(elevation_degrees)
+    span = 2.0 * np.pi if full_circle else np.pi
+    poses = []
+    for i in range(num_poses):
+        azimuth = span * i / num_poses
+        eye = target + radius * np.array(
+            [np.cos(azimuth) * np.cos(elev), np.sin(elev), np.sin(azimuth) * np.cos(elev)]
+        )
+        poses.append(look_at(eye, target))
+    return poses

@@ -1,0 +1,153 @@
+"""Posed-image dataset rendered from procedural scenes.
+
+:class:`SyntheticNeRFDataset` renders ground-truth train/test images from an
+:class:`repro.scenes.primitives.SDFScene` with a reference volume renderer
+(the same Eq. (1) compositing used by the trainable fields) and exposes the
+sampling interface expected by :class:`repro.nerf.trainer.Trainer`:
+
+* ``sample_ray_batch``     — Step (a): random pixels as a batch
+* ``rays_for_view``        — all rays of a held-out test view
+* ``test_image``           — the ground-truth image for that view
+* ``normalize_positions``  — world coordinates -> the unit cube of the grid
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nerf.rays import RayBundle, generate_rays, sample_along_rays, stratified_t_values
+from ..nerf.volume_rendering import render_rays
+from .camera import CameraIntrinsics, poses_on_sphere
+from .library import build_scene
+from .primitives import SDFScene
+
+__all__ = ["DatasetConfig", "SyntheticNeRFDataset", "load_synthetic_dataset"]
+
+
+@dataclass
+class DatasetConfig:
+    """Rendering configuration for the procedural dataset."""
+
+    image_size: int = 64
+    num_train_views: int = 12
+    num_test_views: int = 3
+    camera_radius: float = 2.2
+    fov_degrees: float = 50.0
+    near: float = 0.5
+    far: float = 3.5
+    gt_samples_per_ray: int = 128
+    background: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    # Scene bounding box mapped onto the [0,1]^3 hash-grid domain.
+    scene_bound: float = 1.2
+
+
+class SyntheticNeRFDataset:
+    """Ground-truth images plus ray sampling for one procedural scene."""
+
+    def __init__(self, scene: SDFScene, config: DatasetConfig | None = None):
+        self.scene = scene
+        self.config = config or DatasetConfig()
+        cfg = self.config
+        self.intrinsics = CameraIntrinsics.from_fov(cfg.image_size, cfg.image_size, cfg.fov_degrees)
+        self.train_poses = poses_on_sphere(cfg.num_train_views, radius=cfg.camera_radius, elevation_degrees=25.0)
+        # Test poses share the training elevation but sit between the training
+        # azimuths (interpolation rather than extrapolation, as in the
+        # Synthetic-NeRF splits where test cameras interleave the training orbit).
+        test_all = poses_on_sphere(
+            cfg.num_test_views * 2, radius=cfg.camera_radius, elevation_degrees=28.0
+        )
+        self.test_poses = test_all[1 :: 2][: cfg.num_test_views]
+        self._train_rays: list[RayBundle] = []
+        self._train_images: list[np.ndarray] = []
+        self._test_rays: list[RayBundle] = []
+        self._test_images: list[np.ndarray] = []
+        self._render_ground_truth()
+        self._flatten_training_pixels()
+
+    # ------------------------------------------------------------ rendering
+    def _render_view(self, pose: np.ndarray) -> tuple[RayBundle, np.ndarray]:
+        cfg = self.config
+        rays = generate_rays(pose, self.intrinsics.matrix, cfg.image_size, cfg.image_size)
+        t_values = stratified_t_values(len(rays), cfg.gt_samples_per_ray, cfg.near, cfg.far, jitter=False)
+        points = sample_along_rays(rays, t_values)
+        dirs = np.repeat(rays.directions, cfg.gt_samples_per_ray, axis=0)
+        sigma, rgb = self.scene.radiance(points.reshape(-1, 3), dirs)
+        sigma = sigma.reshape(len(rays), cfg.gt_samples_per_ray)
+        rgb = rgb.reshape(len(rays), cfg.gt_samples_per_ray, 3)
+        out = render_rays(sigma, rgb, t_values, background=np.asarray(cfg.background))
+        image = np.clip(out.rgb.reshape(cfg.image_size, cfg.image_size, 3), 0.0, 1.0)
+        return rays, image
+
+    def _render_ground_truth(self) -> None:
+        for pose in self.train_poses:
+            rays, image = self._render_view(pose)
+            self._train_rays.append(rays)
+            self._train_images.append(image)
+        for pose in self.test_poses:
+            rays, image = self._render_view(pose)
+            self._test_rays.append(rays)
+            self._test_images.append(image)
+
+    def _flatten_training_pixels(self) -> None:
+        origins = np.concatenate([r.origins for r in self._train_rays], axis=0)
+        directions = np.concatenate([r.directions for r in self._train_rays], axis=0)
+        colors = np.concatenate([img.reshape(-1, 3) for img in self._train_images], axis=0)
+        self._all_train_origins = origins
+        self._all_train_directions = directions
+        self._all_train_colors = colors
+
+    # -------------------------------------------------------------- queries
+    @property
+    def image_shape(self) -> tuple[int, int]:
+        return (self.config.image_size, self.config.image_size)
+
+    @property
+    def num_train_views(self) -> int:
+        return len(self._train_images)
+
+    @property
+    def num_test_views(self) -> int:
+        return len(self._test_images)
+
+    @property
+    def num_train_pixels(self) -> int:
+        return self._all_train_colors.shape[0]
+
+    def train_image(self, view_index: int) -> np.ndarray:
+        return self._train_images[view_index]
+
+    def test_image(self, view_index: int) -> np.ndarray:
+        return self._test_images[view_index]
+
+    def rays_for_view(self, view_index: int, split: str = "test") -> RayBundle:
+        """All rays of one view (defaults to the test split)."""
+        bundles = self._test_rays if split == "test" else self._train_rays
+        return bundles[view_index]
+
+    def sample_ray_batch(
+        self, batch_size: int, rng: np.random.Generator | None = None
+    ) -> tuple[RayBundle, np.ndarray]:
+        """Randomly select ``batch_size`` training pixels (Step (a))."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rng = rng or np.random.default_rng()
+        idx = rng.integers(0, self.num_train_pixels, size=batch_size)
+        bundle = RayBundle(self._all_train_origins[idx], self._all_train_directions[idx])
+        return bundle, self._all_train_colors[idx]
+
+    def normalize_positions(self, points: np.ndarray) -> np.ndarray:
+        """Map world coordinates into the unit cube used by the hash grid."""
+        bound = self.config.scene_bound
+        return np.clip((np.asarray(points, dtype=np.float64) + bound) / (2.0 * bound), 0.0, 1.0)
+
+    def denormalize_positions(self, unit_points: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize_positions`."""
+        bound = self.config.scene_bound
+        return np.asarray(unit_points, dtype=np.float64) * (2.0 * bound) - bound
+
+
+def load_synthetic_dataset(scene_name: str, config: DatasetConfig | None = None) -> SyntheticNeRFDataset:
+    """Build the procedural stand-in for one Synthetic-NeRF scene by name."""
+    return SyntheticNeRFDataset(build_scene(scene_name), config)

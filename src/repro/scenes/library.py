@@ -1,0 +1,169 @@
+"""The eight named procedural scenes standing in for Synthetic-NeRF.
+
+Each builder returns an :class:`repro.scenes.primitives.SDFScene` whose
+geometry loosely evokes the corresponding Blender asset (a chair has a seat,
+a back and four legs; a hotdog is a bun with a sausage; ...).  The exact
+shapes are unimportant — what matters is that each scene is a distinct,
+reproducible volumetric target that exercises the full training pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .primitives import ColoredPrimitive, SDFScene, box_sdf, cylinder_sdf, sphere_sdf, torus_sdf
+
+__all__ = ["SCENE_NAMES", "build_scene", "available_scenes"]
+
+SCENE_NAMES = ("chair", "drums", "ficus", "hotdog", "lego", "materials", "mic", "ship")
+
+
+def _chair() -> SDFScene:
+    wood = (0.55, 0.35, 0.2)
+    cushion = (0.7, 0.15, 0.15)
+    prims = [
+        # Seat
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, 0.0, 0.0], [0.45, 0.06, 0.45]), cushion),
+        # Back rest
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, 0.45, -0.4], [0.45, 0.45, 0.06]), wood),
+        # Four legs
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.35, -0.35, 0.35], 0.06, 0.3), wood),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [-0.35, -0.35, 0.35], 0.06, 0.3), wood),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.35, -0.35, -0.35], 0.06, 0.3), wood),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [-0.35, -0.35, -0.35], 0.06, 0.3), wood),
+    ]
+    return SDFScene("chair", prims, tint_frequency=1.5)
+
+
+def _drums() -> SDFScene:
+    shell = (0.75, 0.72, 0.2)
+    skin = (0.9, 0.9, 0.85)
+    cymbal = (0.85, 0.75, 0.3)
+    prims = [
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.1, 0.0], 0.4, 0.25), shell),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, 0.17, 0.0], 0.38, 0.02), skin),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [-0.55, -0.2, 0.2], 0.22, 0.18), shell),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.55, -0.2, 0.2], 0.22, 0.18), shell),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.45, 0.45, -0.3], 0.3, 0.015), cymbal),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [-0.45, 0.5, -0.3], 0.25, 0.015), cymbal),
+    ]
+    return SDFScene("drums", prims, tint_frequency=2.5)
+
+
+def _ficus() -> SDFScene:
+    pot = (0.6, 0.3, 0.2)
+    trunk = (0.4, 0.25, 0.12)
+    leaves = (0.15, 0.5, 0.2)
+    prims = [
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.55, 0.0], 0.3, 0.2), pot),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.1, 0.0], 0.06, 0.35), trunk),
+        ColoredPrimitive(lambda p: sphere_sdf(p, [0.0, 0.45, 0.0], 0.38), leaves),
+        ColoredPrimitive(lambda p: sphere_sdf(p, [0.3, 0.3, 0.15], 0.22), leaves),
+        ColoredPrimitive(lambda p: sphere_sdf(p, [-0.28, 0.35, -0.12], 0.24), leaves),
+    ]
+    return SDFScene("ficus", prims, tint_frequency=3.0)
+
+
+def _hotdog() -> SDFScene:
+    bun = (0.85, 0.65, 0.35)
+    sausage = (0.7, 0.25, 0.15)
+    mustard = (0.9, 0.8, 0.1)
+    plate = (0.92, 0.92, 0.95)
+    prims = [
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.35, 0.0], 0.7, 0.04), plate),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.2, 0.12], [0.55, 0.1, 0.14]), bun),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.2, -0.12], [0.55, 0.1, 0.14]), bun),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.08, 0.0], [0.58, 0.07, 0.07]), sausage),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, 0.01, 0.0], [0.5, 0.015, 0.02]), mustard),
+    ]
+    return SDFScene("hotdog", prims, tint_frequency=1.0)
+
+
+def _lego() -> SDFScene:
+    yellow = (0.9, 0.75, 0.1)
+    grey = (0.5, 0.5, 0.55)
+    black = (0.12, 0.12, 0.12)
+    prims = [
+        # Bulldozer body, cabin, blade and tracks built from boxes.
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.1, 0.0], [0.45, 0.15, 0.3]), yellow),
+        ColoredPrimitive(lambda p: box_sdf(p, [-0.1, 0.15, 0.0], [0.2, 0.15, 0.22]), yellow),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.55, -0.15, 0.0], [0.05, 0.2, 0.35]), grey),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.3, 0.3], [0.45, 0.08, 0.07]), black),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.3, -0.3], [0.45, 0.08, 0.07]), black),
+    ]
+    return SDFScene("lego", prims, tint_frequency=2.0)
+
+
+def _materials() -> SDFScene:
+    colors = [
+        (0.85, 0.2, 0.2),
+        (0.2, 0.7, 0.3),
+        (0.2, 0.35, 0.85),
+        (0.85, 0.75, 0.2),
+        (0.7, 0.3, 0.75),
+        (0.25, 0.75, 0.75),
+    ]
+    prims = []
+    for i, color in enumerate(colors):
+        angle = 2.0 * np.pi * i / len(colors)
+        cx, cz = 0.5 * np.cos(angle), 0.5 * np.sin(angle)
+        prims.append(
+            ColoredPrimitive(
+                lambda p, cx=cx, cz=cz: sphere_sdf(p, [cx, -0.15, cz], 0.18), color
+            )
+        )
+    prims.append(ColoredPrimitive(lambda p: sphere_sdf(p, [0.0, -0.15, 0.0], 0.2), (0.9, 0.9, 0.9)))
+    return SDFScene("materials", prims, tint_frequency=0.5)
+
+
+def _mic() -> SDFScene:
+    metal = (0.75, 0.75, 0.8)
+    grille = (0.3, 0.3, 0.35)
+    cable = (0.15, 0.15, 0.15)
+    prims = [
+        ColoredPrimitive(lambda p: sphere_sdf(p, [0.0, 0.45, 0.0], 0.25), grille),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, 0.05, 0.0], 0.09, 0.35), metal),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.45, 0.0], 0.28, 0.05), metal),
+        ColoredPrimitive(lambda p: torus_sdf(p, [0.3, -0.45, 0.2], 0.15, 0.03), cable),
+    ]
+    return SDFScene("mic", prims, tint_frequency=1.5)
+
+
+def _ship() -> SDFScene:
+    hull = (0.45, 0.3, 0.2)
+    deck = (0.65, 0.5, 0.3)
+    sail = (0.92, 0.9, 0.85)
+    water = (0.15, 0.3, 0.55)
+    prims = [
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.5, 0.0], 0.85, 0.06), water, density_scale=25.0),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.3, 0.0], [0.55, 0.12, 0.2]), hull),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.15, 0.0], [0.6, 0.04, 0.24]), deck),
+        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, 0.15, 0.0], 0.03, 0.35), hull),
+        ColoredPrimitive(lambda p: box_sdf(p, [0.15, 0.2, 0.0], [0.18, 0.25, 0.01]), sail),
+    ]
+    return SDFScene("ship", prims, tint_frequency=2.0)
+
+
+_BUILDERS = {
+    "chair": _chair,
+    "drums": _drums,
+    "ficus": _ficus,
+    "hotdog": _hotdog,
+    "lego": _lego,
+    "materials": _materials,
+    "mic": _mic,
+    "ship": _ship,
+}
+
+
+def available_scenes() -> tuple[str, ...]:
+    """Names of the eight procedural scenes."""
+    return SCENE_NAMES
+
+
+def build_scene(name: str) -> SDFScene:
+    """Construct one of the eight named procedural scenes."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown scene {name!r}; available: {', '.join(SCENE_NAMES)}")
+    return _BUILDERS[key]()

@@ -1,0 +1,27 @@
+"""Workload characterisation of iNGP training: batch geometry, per-step
+sizes/op-counts (Table II) and hash-table access-trace generation."""
+
+from .batch import PAPER_BATCH, BatchGeometry
+from .steps import BACKWARD_MLP_STEPS, FORWARD_MLP_STEPS, INGPWorkloadModel, StepName, StepWorkload
+from .traces import (
+    HashTraceGenerator,
+    TraceConfig,
+    generate_batch_points,
+    level_lookup_indices,
+    lookup_addresses,
+)
+
+__all__ = [
+    "PAPER_BATCH",
+    "BatchGeometry",
+    "BACKWARD_MLP_STEPS",
+    "FORWARD_MLP_STEPS",
+    "INGPWorkloadModel",
+    "StepName",
+    "StepWorkload",
+    "HashTraceGenerator",
+    "TraceConfig",
+    "generate_batch_points",
+    "level_lookup_indices",
+    "lookup_addresses",
+]

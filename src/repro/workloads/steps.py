@@ -1,0 +1,307 @@
+"""Per-step workload descriptors for iNGP training (paper Table II).
+
+iNGP training decomposes into the bottleneck steps the paper profiles:
+
+* ``HT``     — hash-table encoding forward (hashing, lookup, interpolation)
+* ``MLPd``   — density MLP forward
+* ``MLPc``   — color MLP forward
+* ``MLP_b``  — the two MLPs' backward passes
+* ``HT_b``   — hash-table backward (embedding-gradient scatter)
+* ``OTHER``  — everything else (ray sampling, volume rendering, loss, Adam)
+
+For each step we derive the parameter, input, output and intermediate data
+sizes (Table II), the FLOP/integer-op counts, and the dominant data type —
+the quantities that drive both the GPU roofline model (Fig. 1/Fig. 4) and
+the NMP accelerator model (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..nerf.encoding import HashGridConfig
+from .batch import PAPER_BATCH, BatchGeometry
+
+__all__ = ["StepName", "StepWorkload", "INGPWorkloadModel"]
+
+
+class StepName(Enum):
+    """Bottleneck steps (and their backward passes) named as in the paper."""
+
+    HT = "HT"
+    MLP_DENSITY = "MLPd"
+    MLP_COLOR = "MLPc"
+    HT_BACKWARD = "HT_b"
+    MLP_DENSITY_BACKWARD = "MLPd_b"
+    MLP_COLOR_BACKWARD = "MLPc_b"
+    OTHER = "Other"
+
+
+# Steps the paper groups under "MLP" (sequential MLPd -> MLPc).
+FORWARD_MLP_STEPS = (StepName.MLP_DENSITY, StepName.MLP_COLOR)
+BACKWARD_MLP_STEPS = (StepName.MLP_DENSITY_BACKWARD, StepName.MLP_COLOR_BACKWARD)
+
+
+@dataclass(frozen=True)
+class StepWorkload:
+    """Workload characterisation of one training step for one iteration."""
+
+    name: StepName
+    parameter_bytes: int
+    input_bytes: int
+    output_bytes: int
+    intermediate_bytes: int
+    fp_ops: float
+    int_ops: float
+    reads_parameters_randomly: bool = False
+
+    @property
+    def dram_traffic_bytes(self) -> float:
+        """Bytes that must move between DRAM and compute for one iteration.
+
+        Parameters are streamed from DRAM (hash table is far larger than any
+        cache), inputs are read and outputs written; intermediates spill when
+        they exceed on-chip storage, counting a write + read.
+        """
+        return float(
+            self.parameter_bytes + self.input_bytes + self.output_bytes + 2 * self.intermediate_bytes
+        )
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs (plus integer ops) per byte of DRAM traffic."""
+        traffic = self.dram_traffic_bytes
+        return (self.fp_ops + self.int_ops) / traffic if traffic else 0.0
+
+
+class INGPWorkloadModel:
+    """Derives Table II-style sizes and op counts from the iNGP configuration.
+
+    Parameters
+    ----------
+    grid_config:
+        The multi-resolution hash-table configuration (L, T, F, resolutions).
+    batch:
+        Batch geometry (defaults to the paper's 256 K points/iteration).
+    density_hidden / color_hidden / geo_features:
+        The two small MLPs' layer sizes (paper/iNGP defaults: 64-wide).
+    """
+
+    def __init__(
+        self,
+        grid_config: HashGridConfig | None = None,
+        batch: BatchGeometry | None = None,
+        density_hidden: int = 64,
+        color_hidden: int = 64,
+        geo_features: int = 15,
+        dir_encoding_dim: int = 16,
+        dtype_bytes: int = 2,
+    ):
+        # iNGP stores the hash table, activations and MLP weights in FP16
+        # (2 bytes); the Table II sizes (25 MB table, 16 MB encodings, 32 MB
+        # intermediates) only come out right with half-precision storage.
+        self.grid = grid_config or HashGridConfig()
+        self.batch = batch or PAPER_BATCH
+        self.batch.validate()
+        self.density_hidden = density_hidden
+        self.color_hidden = color_hidden
+        self.geo_features = geo_features
+        self.dir_encoding_dim = dir_encoding_dim
+        self.dtype_bytes = dtype_bytes
+
+    # ------------------------------------------------------------ sizes
+    @property
+    def hash_table_bytes(self) -> int:
+        """Total multi-resolution hash-table parameter size (~25 MB at paper scale)."""
+        return self.grid.table_bytes(self.dtype_bytes)
+
+    @property
+    def level_bytes(self) -> list[int]:
+        """Per-level hash-table size in bytes."""
+        return [
+            self.grid.level_table_entries(lvl) * self.grid.features_per_entry * self.dtype_bytes
+            for lvl in range(self.grid.num_levels)
+        ]
+
+    @property
+    def encoding_output_bytes(self) -> int:
+        """HT output = encoded features for the full batch (~16 MB at paper scale)."""
+        return self.batch.points_per_iteration * self.grid.output_dim * self.dtype_bytes
+
+    @property
+    def mlp_parameter_bytes(self) -> int:
+        """Both MLPs' weights (~0.014 MB at paper scale)."""
+        enc_dim = self.grid.output_dim
+        density_params = enc_dim * self.density_hidden + self.density_hidden * (1 + self.geo_features)
+        color_in = self.geo_features + self.dir_encoding_dim
+        color_params = color_in * self.color_hidden + self.color_hidden * self.color_hidden + self.color_hidden * 3
+        return (density_params + color_params) * self.dtype_bytes
+
+    @property
+    def mlp_intermediate_bytes(self) -> int:
+        """Peak layer-by-layer intermediate activations for the batch (~32 MB).
+
+        Layer-by-layer processing keeps one hidden-layer activation of the
+        whole batch live per MLP (64 wide at FP16 -> 32 MB for 256 K points
+        across the two MLPs), matching Table II's "Intermediate Data" column.
+        """
+        widest = max(self.density_hidden, self.color_hidden)
+        return 2 * self.batch.points_per_iteration * widest * self.dtype_bytes // 2
+
+    @property
+    def mlp_output_bytes(self) -> int:
+        """Density + RGB outputs for the batch (~1.5 MB at FP16)."""
+        return self.batch.points_per_iteration * 3 * self.dtype_bytes
+
+    # ------------------------------------------------------------ op counts
+    def _hash_int_ops(self) -> float:
+        # Per point per level: 8 vertex hashes, each a handful of integer
+        # multiply/xor/shift/mod operations (~12 int ops), plus index math.
+        per_point = self.grid.num_levels * 8 * 12
+        return float(self.batch.points_per_iteration * per_point)
+
+    def _interp_fp_ops(self) -> float:
+        # Trilinear interpolation: 8 corners x F features x (1 mul + 1 add).
+        per_point = self.grid.num_levels * 8 * self.grid.features_per_entry * 2
+        return float(self.batch.points_per_iteration * per_point)
+
+    def _density_mlp_flops(self) -> float:
+        enc = self.grid.output_dim
+        macs = enc * self.density_hidden + self.density_hidden * (1 + self.geo_features)
+        return float(self.batch.points_per_iteration * 2 * macs)
+
+    def _color_mlp_flops(self) -> float:
+        color_in = self.geo_features + self.dir_encoding_dim
+        macs = color_in * self.color_hidden + self.color_hidden * self.color_hidden + self.color_hidden * 3
+        return float(self.batch.points_per_iteration * 2 * macs)
+
+    # ------------------------------------------------------------ steps
+    def step(self, name: StepName) -> StepWorkload:
+        """Workload descriptor for one step of one training iteration."""
+        batch = self.batch
+        if name is StepName.HT:
+            return StepWorkload(
+                name=name,
+                parameter_bytes=self.hash_table_bytes,
+                input_bytes=batch.points_per_iteration * batch.position_bytes,
+                output_bytes=self.encoding_output_bytes,
+                intermediate_bytes=0,
+                fp_ops=self._interp_fp_ops(),
+                int_ops=self._hash_int_ops(),
+                reads_parameters_randomly=True,
+            )
+        if name is StepName.HT_BACKWARD:
+            return StepWorkload(
+                name=name,
+                parameter_bytes=self.hash_table_bytes,
+                input_bytes=self.encoding_output_bytes,
+                output_bytes=0,
+                intermediate_bytes=0,
+                fp_ops=self._interp_fp_ops(),
+                int_ops=self._hash_int_ops(),
+                reads_parameters_randomly=True,
+            )
+        if name is StepName.MLP_DENSITY:
+            return StepWorkload(
+                name=name,
+                parameter_bytes=self.mlp_parameter_bytes // 2,
+                input_bytes=self.encoding_output_bytes,
+                output_bytes=self.mlp_output_bytes // 2,
+                intermediate_bytes=self.mlp_intermediate_bytes // 2,
+                fp_ops=self._density_mlp_flops(),
+                int_ops=0.0,
+            )
+        if name is StepName.MLP_COLOR:
+            return StepWorkload(
+                name=name,
+                parameter_bytes=self.mlp_parameter_bytes // 2,
+                input_bytes=self.encoding_output_bytes // 2,
+                output_bytes=self.mlp_output_bytes // 2,
+                intermediate_bytes=self.mlp_intermediate_bytes // 2,
+                fp_ops=self._color_mlp_flops(),
+                int_ops=0.0,
+            )
+        if name is StepName.MLP_DENSITY_BACKWARD:
+            fwd = self.step(StepName.MLP_DENSITY)
+            return StepWorkload(
+                name=name,
+                parameter_bytes=fwd.parameter_bytes,
+                input_bytes=fwd.output_bytes,
+                output_bytes=fwd.input_bytes,
+                intermediate_bytes=fwd.intermediate_bytes,
+                fp_ops=2.0 * fwd.fp_ops,
+                int_ops=0.0,
+            )
+        if name is StepName.MLP_COLOR_BACKWARD:
+            fwd = self.step(StepName.MLP_COLOR)
+            return StepWorkload(
+                name=name,
+                parameter_bytes=fwd.parameter_bytes,
+                input_bytes=fwd.output_bytes,
+                output_bytes=fwd.input_bytes,
+                intermediate_bytes=fwd.intermediate_bytes,
+                fp_ops=2.0 * fwd.fp_ops,
+                int_ops=0.0,
+            )
+        if name is StepName.OTHER:
+            # Ray generation, stratified sampling, volume rendering, loss and
+            # the Adam update.  The optimizer dominates: it streams the whole
+            # hash table plus its gradient and two moment buffers (read) and
+            # writes back the table and moments (~6x the table size).
+            optimizer_bytes = 6 * self.hash_table_bytes
+            render_bytes = batch.points_per_iteration * (batch.position_bytes + batch.color_bytes)
+            return StepWorkload(
+                name=name,
+                parameter_bytes=optimizer_bytes,
+                input_bytes=render_bytes,
+                output_bytes=render_bytes // 4,
+                intermediate_bytes=render_bytes // 2,
+                fp_ops=float(batch.points_per_iteration * 60 + self.hash_table_bytes // self.dtype_bytes * 8),
+                int_ops=float(batch.points_per_iteration * 10),
+            )
+        raise ValueError(f"unknown step {name}")
+
+    def all_steps(self) -> list[StepWorkload]:
+        """Every step of one training iteration, forward then backward."""
+        return [self.step(name) for name in StepName]
+
+    def table2(self) -> dict[str, dict[str, float]]:
+        """Paper Table II: parameter/input/output/intermediate sizes in MB.
+
+        The MLP rows aggregate MLPd+MLPc (the paper's "MLP stands for
+        applying MLPd and MLPc sequentially").
+        """
+        def mb(x: float) -> float:
+            return x / 1024**2
+
+        ht = self.step(StepName.HT)
+        ht_b = self.step(StepName.HT_BACKWARD)
+        mlp_fwd = [self.step(s) for s in FORWARD_MLP_STEPS]
+        mlp_bwd = [self.step(s) for s in BACKWARD_MLP_STEPS]
+        return {
+            "HT": {
+                "param_mb": mb(ht.parameter_bytes),
+                "input_mb": mb(ht.input_bytes),
+                "output_mb": mb(ht.output_bytes),
+                "intermediate_mb": mb(ht.intermediate_bytes),
+            },
+            "MLP": {
+                "param_mb": mb(sum(s.parameter_bytes for s in mlp_fwd)),
+                "input_mb": mb(mlp_fwd[0].input_bytes),
+                "output_mb": mb(sum(s.output_bytes for s in mlp_fwd)),
+                "intermediate_mb": mb(sum(s.intermediate_bytes for s in mlp_fwd)),
+            },
+            "MLP_b": {
+                "param_mb": mb(sum(s.parameter_bytes for s in mlp_bwd)),
+                "input_mb": mb(sum(s.input_bytes for s in mlp_bwd)),
+                "output_mb": mb(mlp_bwd[0].output_bytes),
+                "intermediate_mb": mb(sum(s.intermediate_bytes for s in mlp_bwd)),
+            },
+            "HT_b": {
+                "param_mb": mb(ht_b.parameter_bytes),
+                "input_mb": mb(ht_b.input_bytes),
+                "output_mb": mb(ht_b.output_bytes),
+                "intermediate_mb": mb(ht_b.intermediate_bytes),
+            },
+        }

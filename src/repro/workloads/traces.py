@@ -1,0 +1,157 @@
+"""Hash-table access-trace generation.
+
+The locality experiments (Fig. 6, 7, 9) need realistic streams of hash-table
+lookups: points sampled along rays of a training batch, converted per level
+into the eight surrounding cube vertices, hashed with a chosen hash function,
+and ordered by a chosen streaming order.  The resulting byte-address traces
+feed :class:`repro.dram.DRAMSystem` and the NMP accelerator model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hashing import DenseGridIndexer, HashFunction
+from ..nerf.encoding import HashGridConfig
+
+__all__ = ["TraceConfig", "generate_batch_points", "level_lookup_indices", "lookup_addresses", "HashTraceGenerator"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Parameters of a synthetic hash-lookup trace.
+
+    The defaults mimic iNGP's ray marching through the occupied part of a
+    scene: 64 samples spaced roughly ``sqrt(3)/1024`` of the scene extent
+    apart, which is the cone-marching step iNGP uses inside occupied regions.
+    Consecutive samples therefore share cubes at coarse and mid levels —
+    exactly the locality Fig. 7(a) quantifies.
+    """
+
+    num_rays: int = 256
+    points_per_ray: int = 64
+    near: float = 0.3
+    far: float = 0.55
+    seed: int = 0
+    entry_bytes: int = 4  # one embedding vector: F=2 x FP16 = 32 bits
+
+
+def generate_batch_points(config: TraceConfig) -> np.ndarray:
+    """Sample a batch of points along random rays inside the unit cube.
+
+    Returns an array of shape ``(num_rays, points_per_ray, 3)`` with
+    coordinates in ``[0, 1]``; consecutive points along axis 1 belong to the
+    same ray (this ordering is what the ray-first streaming order exploits).
+    """
+    rng = np.random.default_rng(config.seed)
+    origins = rng.uniform(0.0, 1.0, size=(config.num_rays, 3))
+    directions = rng.normal(size=(config.num_rays, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    t = np.linspace(config.near, config.far, config.points_per_ray)
+    points = origins[:, None, :] + t[None, :, None] * directions[:, None, :] * 0.5
+    return np.clip(points, 0.0, 1.0)
+
+
+def level_lookup_indices(
+    points: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    hash_fn: HashFunction | None = None,
+) -> np.ndarray:
+    """Hash-table indices of the 8 cube corners of each point at one level.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 3)`` positions in ``[0, 1]`` (any leading shape is flattened).
+    level:
+        Hash-table level.
+    grid_config:
+        The multi-resolution table configuration.
+    hash_fn:
+        Overrides ``grid_config.hash_fn`` when given (used to compare the
+        original and Morton hash functions on identical point streams).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer indices of shape ``(N, 8)`` in ``[0, level_table_entries)``.
+    """
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    res = grid_config.resolutions[level]
+    table_entries = grid_config.level_table_entries(level)
+    scaled = np.clip(pts, 0.0, 1.0) * res
+    base = np.clip(np.floor(scaled).astype(np.int64), 0, res - 1)
+    offsets = np.array([[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)], dtype=np.int64)
+    corners = base[:, None, :] + offsets[None, :, :]
+    fn = hash_fn or grid_config.hash_fn
+    if grid_config.level_uses_hash(level):
+        idx = fn(corners.reshape(-1, 3), table_entries)
+    else:
+        idx = DenseGridIndexer(res)(corners.reshape(-1, 3), table_entries)
+    return idx.reshape(-1, 8)
+
+
+def lookup_addresses(
+    indices: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    entry_bytes: int = 4,
+    base_address: int = 0,
+) -> np.ndarray:
+    """Convert per-level table indices to byte addresses.
+
+    Levels are laid out back to back starting at ``base_address``; the
+    Instant-NeRF hash-table mapping scheme later remaps these linear
+    addresses onto banks/subarrays (see :mod:`repro.core.mapping`).
+    """
+    level_offset = base_address
+    for lvl in range(level):
+        level_offset += grid_config.level_table_entries(lvl) * entry_bytes
+    return level_offset + np.asarray(indices, dtype=np.int64).ravel() * entry_bytes
+
+
+class HashTraceGenerator:
+    """Generates complete hash-lookup address traces for a training batch."""
+
+    def __init__(
+        self,
+        grid_config: HashGridConfig | None = None,
+        trace_config: TraceConfig | None = None,
+        hash_fn: HashFunction | None = None,
+    ):
+        self.grid = grid_config or HashGridConfig()
+        self.config = trace_config or TraceConfig()
+        self.hash_fn = hash_fn or self.grid.hash_fn
+        self._points = generate_batch_points(self.config)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The sampled batch, shape ``(num_rays, points_per_ray, 3)``."""
+        return self._points
+
+    def indices_for_level(self, level: int, point_order: np.ndarray | None = None) -> np.ndarray:
+        """Per-point corner indices at a level, optionally reordering points.
+
+        ``point_order`` is a permutation over the flattened point axis (as
+        produced by :mod:`repro.core.streaming`).
+        """
+        pts = self._points.reshape(-1, 3)
+        if point_order is not None:
+            pts = pts[point_order]
+        return level_lookup_indices(pts, level, self.grid, self.hash_fn)
+
+    def addresses_for_level(
+        self, level: int, point_order: np.ndarray | None = None, base_address: int = 0
+    ) -> np.ndarray:
+        """Flattened byte-address trace (8 lookups per point, in point order)."""
+        idx = self.indices_for_level(level, point_order)
+        return lookup_addresses(idx, level, self.grid, self.config.entry_bytes, base_address)
+
+    def full_trace(self, point_order: np.ndarray | None = None) -> np.ndarray:
+        """Concatenated address trace across all levels (level-major)."""
+        return np.concatenate(
+            [self.addresses_for_level(level, point_order) for level in range(self.grid.num_levels)]
+        )

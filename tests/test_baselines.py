@@ -1,0 +1,111 @@
+"""Tests for the FastNeRF and TensoRF baseline radiance fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nerf.baselines import FastNeRFField, TensoRFField, _LineFactorSet
+
+
+def _unit_directions(rng, n):
+    d = rng.normal(size=(n, 3))
+    return d / np.linalg.norm(d, axis=1, keepdims=True)
+
+
+@pytest.mark.parametrize("field_cls", [FastNeRFField, TensoRFField])
+def test_baseline_forward_shapes(field_cls, rng):
+    field = field_cls(rng=rng)
+    pos = rng.uniform(0, 1, (9, 3))
+    dirs = _unit_directions(rng, 9)
+    sigma, rgb = field.forward(pos, dirs)
+    assert sigma.shape == (9,)
+    assert rgb.shape == (9, 3)
+    assert np.all(sigma >= 0)
+    assert np.all((rgb >= 0) & (rgb <= 1))
+
+
+@pytest.mark.parametrize("field_cls", [FastNeRFField, TensoRFField])
+def test_baseline_backward_populates_gradients(field_cls, rng):
+    field = field_cls(rng=rng)
+    pos = rng.uniform(0, 1, (7, 3))
+    dirs = _unit_directions(rng, 7)
+    field.forward(pos, dirs)
+    field.zero_grad()
+    field.backward(rng.normal(size=7), rng.normal(size=(7, 3)))
+    grads = field.gradients()
+    assert len(grads) == len(field.parameters())
+    assert any(np.any(np.abs(g) > 0) for g in grads)
+    with pytest.raises(RuntimeError):
+        field_cls(rng=rng).backward(np.zeros(3), np.zeros((3, 3)))
+
+
+def test_fastnerf_gradcheck(rng):
+    field = FastNeRFField(num_components=3, hidden_dim=24, rng=rng)
+    pos = rng.uniform(0, 1, (5, 3))
+    dirs = _unit_directions(rng, 5)
+    gs, gc = rng.normal(size=5), rng.normal(size=(5, 3))
+
+    def scalar():
+        s, c = field.forward(pos, dirs)
+        return float((s * gs).sum() + (c * gc).sum())
+
+    field.forward(pos, dirs)
+    field.zero_grad()
+    field.backward(gs, gc)
+    param = field.dir_mlp.weights[0]
+    grad = field.dir_mlp.weight_grads[0]
+    idx = np.unravel_index(np.argmax(np.abs(grad)), param.shape)
+    eps = 1e-3
+    original = param[idx]
+    param[idx] = original + eps
+    plus = scalar()
+    param[idx] = original - eps
+    minus = scalar()
+    param[idx] = original
+    assert (plus - minus) / (2 * eps) == pytest.approx(float(grad[idx]), rel=0.08, abs=2e-3)
+
+
+def test_tensorf_gradcheck_on_line_factor(rng):
+    field = TensoRFField(density_rank=3, appearance_rank=4, resolution=32, hidden_dim=16, rng=rng)
+    pos = rng.uniform(0.05, 0.95, (6, 3))
+    dirs = _unit_directions(rng, 6)
+    gs, gc = rng.normal(size=6), rng.normal(size=(6, 3))
+
+    def scalar():
+        s, c = field.forward(pos, dirs)
+        return float((s * gs).sum() + (c * gc).sum())
+
+    field.forward(pos, dirs)
+    field.zero_grad()
+    field.backward(gs, gc)
+    param = field.density_factors.lines[0]
+    grad = field.density_factors.grads[0]
+    idx = np.unravel_index(np.argmax(np.abs(grad)), param.shape)
+    eps = 1e-3
+    original = param[idx]
+    param[idx] = original + eps
+    plus = scalar()
+    param[idx] = original - eps
+    minus = scalar()
+    param[idx] = original
+    assert (plus - minus) / (2 * eps) == pytest.approx(float(grad[idx]), rel=0.08, abs=2e-3)
+
+
+def test_line_factor_set_interpolation_and_validation(rng):
+    factors = _LineFactorSet(rank=2, resolution=8, rng=rng)
+    pos = rng.uniform(0, 1, (10, 3))
+    values = factors.evaluate(pos)
+    assert values.shape == (10, 2)
+    with pytest.raises(ValueError):
+        _LineFactorSet(rank=0, resolution=8, rng=rng)
+    with pytest.raises(RuntimeError):
+        _LineFactorSet(rank=2, resolution=8, rng=rng).backward(np.zeros((10, 2)))
+
+
+def test_tensorf_density_is_position_only(rng):
+    field = TensoRFField(rng=rng)
+    pos = rng.uniform(0, 1, (5, 3))
+    sigma1, _ = field.forward(pos, _unit_directions(rng, 5))
+    sigma2, _ = field.forward(pos, _unit_directions(rng, 5))
+    np.testing.assert_allclose(sigma1, sigma2, rtol=1e-6)

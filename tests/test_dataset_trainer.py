@@ -1,0 +1,106 @@
+"""Integration tests for the dataset and the end-to-end training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nerf.encoding import HashGridConfig
+from repro.nerf.field import InstantNGPField
+from repro.nerf.trainer import Trainer, TrainerConfig, psnr_from_mse
+from repro.scenes.dataset import DatasetConfig, SyntheticNeRFDataset, load_synthetic_dataset
+from repro.scenes.library import build_scene
+
+
+def test_dataset_shapes_and_splits(tiny_dataset):
+    assert tiny_dataset.num_train_views == 3
+    assert tiny_dataset.num_test_views == 1
+    assert tiny_dataset.image_shape == (20, 20)
+    image = tiny_dataset.test_image(0)
+    assert image.shape == (20, 20, 3)
+    assert np.all((image >= 0) & (image <= 1))
+    assert tiny_dataset.num_train_pixels == 3 * 20 * 20
+
+
+def test_dataset_images_contain_object_and_background(tiny_dataset):
+    image = tiny_dataset.train_image(0)
+    # White background plus a darker object: intensity must vary.
+    assert image.max() > 0.9
+    assert image.min() < 0.8
+    assert image.std() > 0.02
+
+
+def test_dataset_ray_batch_sampling(tiny_dataset, rng):
+    rays, colors = tiny_dataset.sample_ray_batch(64, rng=rng)
+    assert len(rays) == 64
+    assert colors.shape == (64, 3)
+    np.testing.assert_allclose(np.linalg.norm(rays.directions, axis=1), 1.0, atol=1e-9)
+    with pytest.raises(ValueError):
+        tiny_dataset.sample_ray_batch(0)
+
+
+def test_dataset_position_normalisation_roundtrip(tiny_dataset, rng):
+    points = rng.uniform(-1.0, 1.0, (32, 3))
+    unit = tiny_dataset.normalize_positions(points)
+    assert np.all((unit >= 0) & (unit <= 1))
+    back = tiny_dataset.denormalize_positions(unit)
+    np.testing.assert_allclose(back, points, atol=1e-9)
+
+
+def test_load_synthetic_dataset_by_name():
+    config = DatasetConfig(image_size=12, num_train_views=2, num_test_views=1, gt_samples_per_ray=24)
+    dataset = load_synthetic_dataset("mic", config)
+    assert isinstance(dataset, SyntheticNeRFDataset)
+    assert dataset.scene.name == "mic"
+
+
+@pytest.fixture(scope="module")
+def trained_trainer():
+    dataset = SyntheticNeRFDataset(
+        build_scene("lego"),
+        DatasetConfig(image_size=20, num_train_views=3, num_test_views=1, gt_samples_per_ray=48),
+    )
+    grid = HashGridConfig(num_levels=6, table_size=2**12, max_resolution=128)
+    field = InstantNGPField(grid, hidden_dim=24, geo_features=7)
+    config = TrainerConfig(num_iterations=60, rays_per_batch=128, samples_per_ray=32, learning_rate=1e-2, seed=0)
+    trainer = Trainer(field, dataset, config)
+    trainer.train()
+    return trainer
+
+
+def test_training_reduces_loss(trained_trainer):
+    history = trained_trainer.history
+    assert len(history.losses) == 60
+    early = float(np.mean(history.losses[:10]))
+    late = float(np.mean(history.losses[-10:]))
+    assert late < early * 0.5
+    assert history.final_psnr > psnr_from_mse(early)
+    assert history.total_time > 0
+
+
+def test_rendered_image_quality_improves_over_untrained(trained_trainer):
+    rendered = trained_trainer.render_image(0)
+    target = trained_trainer.dataset.test_image(0)
+    assert rendered.shape == target.shape
+    trained_psnr = trained_trainer.evaluate([0])
+
+    fresh_field = InstantNGPField(
+        HashGridConfig(num_levels=6, table_size=2**12, max_resolution=128), hidden_dim=24, geo_features=7
+    )
+    fresh_trainer = Trainer(fresh_field, trained_trainer.dataset, trained_trainer.config)
+    untrained_psnr = fresh_trainer.evaluate([0])
+    assert trained_psnr > untrained_psnr + 2.0
+    assert trained_psnr > 10.0
+
+
+def test_train_step_returns_finite_loss(tiny_dataset):
+    field = InstantNGPField(HashGridConfig(num_levels=4, table_size=2**10, max_resolution=64), hidden_dim=16, geo_features=3)
+    trainer = Trainer(field, tiny_dataset, TrainerConfig(num_iterations=2, rays_per_batch=32, samples_per_ray=16))
+    loss = trainer.train_step()
+    assert np.isfinite(loss)
+    assert loss > 0
+
+
+def test_psnr_from_mse():
+    assert psnr_from_mse(0.01) == pytest.approx(20.0)
+    assert psnr_from_mse(0.0) == float("inf")

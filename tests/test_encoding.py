@@ -1,0 +1,137 @@
+"""Tests for the multi-resolution hash encoding and frequency encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import MortonLocalityHash
+from repro.nerf.encoding import FrequencyEncoding, HashGridConfig, HashGridEncoding, level_resolutions
+
+
+def test_level_resolutions_geometric_progression():
+    res = level_resolutions(16, 16, 2048)
+    assert res[0] == 16
+    assert res[-1] == 2048
+    assert all(res[i] <= res[i + 1] for i in range(15))
+
+
+def test_level_resolutions_validation():
+    with pytest.raises(ValueError):
+        level_resolutions(0, 16, 2048)
+    with pytest.raises(ValueError):
+        level_resolutions(4, 32, 16)
+    assert level_resolutions(1, 16, 2048) == [16]
+
+
+def test_hash_grid_config_table_sizes():
+    config = HashGridConfig(num_levels=16, table_size=2**19, features_per_entry=2)
+    # Coarse levels store the dense grid; fine levels are capped at T.
+    assert config.level_table_entries(0) == (config.resolutions[0] + 1) ** 3
+    assert config.level_table_entries(15) == 2**19
+    assert not config.level_uses_hash(0)
+    assert config.level_uses_hash(15)
+    # Paper-scale table is ~25 MB at FP16.
+    assert config.table_bytes(dtype_bytes=2) / 1024**2 == pytest.approx(25.0, rel=0.15)
+    assert config.output_dim == 32
+
+
+def test_encoding_forward_shape_and_cache(small_grid_config, rng):
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    pos = rng.uniform(0, 1, (10, 3))
+    feats = enc.forward(pos)
+    assert feats.shape == (10, small_grid_config.output_dim)
+    assert feats.dtype == np.float32
+    with pytest.raises(ValueError):
+        enc.forward(rng.uniform(0, 1, (10, 2)))
+
+
+def test_encoding_backward_requires_forward(small_grid_config):
+    enc = HashGridEncoding(small_grid_config)
+    with pytest.raises(RuntimeError):
+        enc.backward(np.zeros((1, small_grid_config.output_dim)))
+
+
+def test_encoding_is_continuous_in_position(small_grid_config, rng):
+    """Trilinear interpolation => small position changes give small feature changes."""
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    for e in enc.embeddings:
+        e[...] = rng.normal(0, 1, e.shape).astype(np.float32)
+    pos = rng.uniform(0.1, 0.9, (20, 3))
+    f0 = enc.forward(pos)
+    f1 = enc.forward(pos + 1e-5)
+    assert np.max(np.abs(f0 - f1)) < 1e-2
+
+
+def test_encoding_gradients_match_finite_differences(small_grid_config, rng):
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    for e in enc.embeddings:
+        e[...] = rng.normal(0, 0.5, e.shape).astype(np.float32)
+    pos = rng.uniform(0.05, 0.95, (6, 3))
+    upstream = rng.normal(size=(6, small_grid_config.output_dim)).astype(np.float32)
+
+    enc.forward(pos)
+    enc.zero_grad()
+    enc.backward(upstream)
+
+    eps = 1e-3
+    for level in range(small_grid_config.num_levels):
+        grad = enc.grads[level]
+        if not np.any(np.abs(grad) > 1e-7):
+            continue
+        idx = np.unravel_index(np.argmax(np.abs(grad)), grad.shape)
+        original = enc.embeddings[level][idx]
+        enc.embeddings[level][idx] = original + eps
+        plus = float((enc.forward(pos) * upstream).sum())
+        enc.embeddings[level][idx] = original - eps
+        minus = float((enc.forward(pos) * upstream).sum())
+        enc.embeddings[level][idx] = original
+        fd = (plus - minus) / (2 * eps)
+        assert fd == pytest.approx(float(grad[idx]), rel=0.05, abs=1e-3)
+
+
+def test_encoding_with_morton_hash_matches_interface(small_grid_config, rng):
+    config = HashGridConfig(
+        num_levels=small_grid_config.num_levels,
+        table_size=small_grid_config.table_size,
+        base_resolution=small_grid_config.base_resolution,
+        max_resolution=small_grid_config.max_resolution,
+        hash_fn=MortonLocalityHash(),
+    )
+    enc = HashGridEncoding(config, rng=rng)
+    feats = enc.forward(rng.uniform(0, 1, (5, 3)))
+    assert feats.shape == (5, config.output_dim)
+
+
+def test_vertex_indices_weights_sum_to_one(small_grid_config, rng):
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    pos = rng.uniform(0, 1, (50, 3))
+    for level in range(small_grid_config.num_levels):
+        idx, weights, base = enc.vertex_indices(pos, level)
+        assert idx.shape == (50, 8)
+        assert weights.shape == (50, 8)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-5)
+        assert np.all(idx >= 0)
+        assert np.all(idx < small_grid_config.level_table_entries(level))
+
+
+def test_frequency_encoding_shapes_and_range():
+    enc = FrequencyEncoding(input_dim=3, num_frequencies=4, include_input=True)
+    assert enc.output_dim == 3 + 3 * 4 * 2
+    x = np.random.default_rng(0).uniform(-1, 1, (7, 3))
+    out = enc.forward(x)
+    assert out.shape == (7, enc.output_dim)
+    # sin/cos components bounded by 1.
+    assert np.all(np.abs(out[:, 3:]) <= 1.0 + 1e-6)
+    with pytest.raises(ValueError):
+        enc.forward(np.zeros((4, 2)))
+
+
+@given(st.integers(2, 8), st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_frequency_encoding_output_dim_property(dim, freqs):
+    enc = FrequencyEncoding(input_dim=dim, num_frequencies=freqs, include_input=False)
+    assert enc.output_dim == dim * freqs * 2
+    assert enc.forward(np.zeros((3, dim))).shape == (3, enc.output_dim)

@@ -1,0 +1,135 @@
+"""Tests for the iNGP and vanilla-NeRF radiance fields (forward + backward)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nerf.encoding import HashGridConfig
+from repro.nerf.field import InstantNGPField, VanillaNeRFField
+
+
+def _unit_directions(rng, n):
+    d = rng.normal(size=(n, 3))
+    return d / np.linalg.norm(d, axis=1, keepdims=True)
+
+
+@pytest.fixture()
+def ingp_field(small_grid_config, rng):
+    field = InstantNGPField(small_grid_config, hidden_dim=16, geo_features=7, rng=rng)
+    # Boost embeddings so gradient checks are well conditioned.
+    for emb in field.encoding.embeddings:
+        emb[...] = rng.normal(0, 0.5, emb.shape).astype(np.float32)
+    return field
+
+
+def test_ingp_forward_shapes_and_ranges(ingp_field, rng):
+    pos = rng.uniform(0, 1, (12, 3))
+    dirs = _unit_directions(rng, 12)
+    sigma, rgb = ingp_field.forward(pos, dirs)
+    assert sigma.shape == (12,)
+    assert rgb.shape == (12, 3)
+    assert np.all(sigma >= 0)  # softplus output
+    assert np.all((rgb >= 0) & (rgb <= 1))  # sigmoid output
+
+
+def test_ingp_input_validation(ingp_field, rng):
+    with pytest.raises(ValueError):
+        ingp_field.forward(rng.uniform(size=(5, 2)), rng.uniform(size=(5, 3)))
+    with pytest.raises(ValueError):
+        ingp_field.forward(rng.uniform(size=(5, 3)), rng.uniform(size=(4, 3)))
+    with pytest.raises(RuntimeError):
+        InstantNGPField(HashGridConfig(num_levels=2, table_size=64, max_resolution=16)).backward(
+            np.zeros(3), np.zeros((3, 3))
+        )
+
+
+def test_ingp_view_dependence(ingp_field, rng):
+    pos = rng.uniform(0, 1, (6, 3))
+    d1 = _unit_directions(rng, 6)
+    d2 = _unit_directions(rng, 6)
+    sigma1, rgb1 = ingp_field.forward(pos, d1)
+    sigma2, rgb2 = ingp_field.forward(pos, d2)
+    # Density depends only on position, color also on view direction.
+    np.testing.assert_allclose(sigma1, sigma2, rtol=1e-6)
+    assert not np.allclose(rgb1, rgb2)
+
+
+def test_ingp_parameter_and_gradient_lists_align(ingp_field):
+    params = ingp_field.parameters()
+    grads = ingp_field.gradients()
+    assert len(params) == len(grads)
+    for p, g in zip(params, grads):
+        assert p.shape == g.shape
+    assert ingp_field.num_parameters() == sum(p.size for p in params)
+
+
+@pytest.mark.parametrize("component", ["density_w", "color_w", "embedding"])
+def test_ingp_gradients_match_finite_differences(ingp_field, rng, component):
+    pos = rng.uniform(0.05, 0.95, (8, 3))
+    dirs = _unit_directions(rng, 8)
+    grad_sigma = rng.normal(size=8)
+    grad_rgb = rng.normal(size=(8, 3))
+
+    def scalar():
+        s, c = ingp_field.forward(pos, dirs)
+        return float((s * grad_sigma).sum() + (c * grad_rgb).sum())
+
+    ingp_field.forward(pos, dirs)
+    ingp_field.zero_grad()
+    ingp_field.backward(grad_sigma, grad_rgb)
+    if component == "density_w":
+        param, grad = ingp_field.density_mlp.weights[1], ingp_field.density_mlp.weight_grads[1]
+    elif component == "color_w":
+        param, grad = ingp_field.color_mlp.weights[0], ingp_field.color_mlp.weight_grads[0]
+    else:
+        param, grad = ingp_field.encoding.embeddings[0], ingp_field.encoding.grads[0]
+    idx = np.unravel_index(np.argmax(np.abs(grad)), param.shape)
+    eps = 1e-3
+    original = param[idx]
+    param[idx] = original + eps
+    plus = scalar()
+    param[idx] = original - eps
+    minus = scalar()
+    param[idx] = original
+    fd = (plus - minus) / (2 * eps)
+    assert fd == pytest.approx(float(grad[idx]), rel=0.08, abs=2e-3)
+
+
+def test_vanilla_field_forward_and_backward(rng):
+    field = VanillaNeRFField(hidden_dim=32, num_hidden_layers=2, rng=rng)
+    pos = rng.uniform(0, 1, (10, 3))
+    dirs = _unit_directions(rng, 10)
+    sigma, rgb = field.forward(pos, dirs)
+    assert sigma.shape == (10,) and rgb.shape == (10, 3)
+    assert np.all(sigma >= 0) and np.all((rgb >= 0) & (rgb <= 1))
+    field.zero_grad()
+    field.backward(rng.normal(size=10), rng.normal(size=(10, 3)))
+    assert any(np.any(g != 0) for g in field.gradients())
+
+
+def test_vanilla_field_gradcheck(rng):
+    field = VanillaNeRFField(hidden_dim=16, num_hidden_layers=1, rng=rng)
+    pos = rng.uniform(0, 1, (6, 3))
+    dirs = _unit_directions(rng, 6)
+    grad_sigma = rng.normal(size=6)
+    grad_rgb = rng.normal(size=(6, 3))
+
+    def scalar():
+        s, c = field.forward(pos, dirs)
+        return float((s * grad_sigma).sum() + (c * grad_rgb).sum())
+
+    field.forward(pos, dirs)
+    field.zero_grad()
+    field.backward(grad_sigma, grad_rgb)
+    param = field.mlp.weights[1]
+    grad = field.mlp.weight_grads[1]
+    idx = np.unravel_index(np.argmax(np.abs(grad)), param.shape)
+    eps = 1e-3
+    original = param[idx]
+    param[idx] = original + eps
+    plus = scalar()
+    param[idx] = original - eps
+    minus = scalar()
+    param[idx] = original
+    assert (plus - minus) / (2 * eps) == pytest.approx(float(grad[idx]), rel=0.08, abs=2e-3)

@@ -1,0 +1,119 @@
+"""Tests for the GPU specs, roofline model and analytical profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import (
+    ALL_GPUS,
+    RTX_2080TI,
+    TX2,
+    XNX,
+    GPUProfiler,
+    RooflineModel,
+    get_gpu,
+)
+from repro.workloads.steps import StepName
+
+
+def test_table1_specs_transcription():
+    assert XNX.dram_bandwidth_gbps == pytest.approx(59.7)
+    assert XNX.power_w == 20.0
+    assert XNX.l2_cache_mb == 0.5
+    assert TX2.dram_bandwidth_gbps == pytest.approx(25.6)
+    assert RTX_2080TI.dram_bandwidth_gbps == pytest.approx(616.0)
+    assert RTX_2080TI.l2_cache_mb == 5.5
+    assert XNX.measured_training_s == pytest.approx(7088.0)
+    assert TX2.measured_training_s == pytest.approx(44653.0)
+    assert RTX_2080TI.measured_training_s == pytest.approx(306.0)
+    assert len(ALL_GPUS) == 4
+    for gpu in ALL_GPUS.values():
+        gpu.validate()
+
+
+def test_get_gpu_lookup():
+    assert get_gpu("xnx") is XNX
+    assert get_gpu("2080Ti") is RTX_2080TI
+    with pytest.raises(KeyError):
+        get_gpu("a100")
+
+
+def test_roofline_bottleneck_steps_are_memory_bound():
+    """The hash-table kernels (the dominant cost) must be memory-bound on the
+    edge GPU; the tiny color MLP can come out marginally compute-bound in the
+    roofline model, which the paper's coarser profiling does not resolve."""
+    model = RooflineModel(XNX)
+    for step in (StepName.HT, StepName.HT_BACKWARD, StepName.MLP_DENSITY):
+        timing = model.step_timing(step)
+        assert timing.memory_bound, f"{step} should be memory-bound on the edge GPU"
+        assert timing.seconds > 0
+    assert model.step_timing(StepName.MLP_COLOR).seconds > 0
+
+
+def test_roofline_training_time_orders_of_magnitude():
+    """Fig. 1(a) shape: edge GPUs are >1 hour/scene, the cloud GPU is minutes."""
+    xnx_time = RooflineModel(XNX).scene_training_seconds()
+    tx2_time = RooflineModel(TX2).scene_training_seconds()
+    cloud_time = RooflineModel(RTX_2080TI).scene_training_seconds()
+    assert xnx_time > 3600.0
+    assert tx2_time > xnx_time
+    assert cloud_time < 1200.0
+    assert xnx_time / cloud_time > 5.0
+    # Within ~2x of the paper's measured averages.
+    assert xnx_time == pytest.approx(7088.0, rel=1.0)
+    assert cloud_time == pytest.approx(305.8, rel=1.0)
+
+
+def test_roofline_breakdown_dominated_by_hash_table():
+    """Fig. 1(b) shape: HT + HT_b dominate, the four bottleneck steps >60%."""
+    breakdown = RooflineModel(XNX).breakdown()
+    assert breakdown["HT"] > 0.2
+    assert breakdown["HT_b"] > 0.2
+    assert breakdown["HT"] + breakdown["HT_b"] > 0.5
+    bottleneck = 1.0 - breakdown["Other"]
+    assert bottleneck > 0.6
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_larger_cache_absorbs_hash_lookups():
+    xnx_bytes = RooflineModel(XNX).effective_bytes(StepName.HT)
+    cloud_bytes = RooflineModel(RTX_2080TI).effective_bytes(StepName.HT)
+    assert cloud_bytes < xnx_bytes
+
+
+def test_profiler_reports_memory_bound_utilization():
+    """Fig. 4 shape: DRAM utilization far above any compute utilization."""
+    profiler = GPUProfiler.for_gpu(XNX)
+    for step in (StepName.HT, StepName.MLP_DENSITY):
+        profile = profiler.profile_step(step)
+        assert profile.dram_bandwidth_utilization > 0.3
+        assert profile.dram_read_gbps > profile.dram_write_gbps  # forward steps read-heavy
+    ht_profile = profiler.profile_step(StepName.HT)
+    assert ht_profile.fp32_utilization < 0.1
+    assert ht_profile.fp16_utilization < 0.1
+    assert ht_profile.bandwidth_to_compute_ratio > 5.0
+    assert profiler.profile_step(StepName.HT_BACKWARD).bandwidth_to_compute_ratio > 5.0
+
+
+def test_profiler_backward_steps_are_write_heavy():
+    profile = GPUProfiler.for_gpu(XNX).profile_step(StepName.HT_BACKWARD)
+    assert profile.dram_write_gbps > profile.dram_read_gbps
+
+
+def test_profile_scene_and_bottleneck_listing():
+    profiler = GPUProfiler.for_gpu(XNX)
+    scene = profiler.profile_scene()
+    assert scene.gpu_name == "XNX"
+    assert set(scene.kernels) == {s.value for s in StepName}
+    assert 0.5 < scene.bottleneck_fraction() <= 1.0
+    bottlenecks = profiler.bottleneck_steps()
+    assert StepName.HT in bottlenecks
+    assert StepName.HT_BACKWARD in bottlenecks
+
+
+def test_scene_energy_scales_with_power():
+    xnx_energy = RooflineModel(XNX).scene_training_energy_j()
+    tx2_energy = RooflineModel(TX2).scene_training_energy_j()
+    assert xnx_energy > 0 and tx2_energy > 0
+    with pytest.raises(ValueError):
+        RooflineModel(XNX).scene_training_energy_j(utilization_of_tdp=0.0)

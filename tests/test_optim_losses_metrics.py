@@ -1,0 +1,105 @@
+"""Tests for the Adam optimizer, losses and image-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nerf.adam import Adam
+from repro.nerf.losses import huber_loss, mse_loss
+from repro.nerf.metrics import mse, psnr, ssim
+
+
+def test_adam_minimises_quadratic():
+    rng = np.random.default_rng(0)
+    target = rng.normal(size=(10,)).astype(np.float32)
+    param = np.zeros(10, dtype=np.float32)
+    grad = np.zeros_like(param)
+    opt = Adam([param], [grad], learning_rate=0.1)
+    for _ in range(300):
+        grad[...] = 2 * (param - target)
+        opt.step()
+    np.testing.assert_allclose(param, target, atol=1e-2)
+
+
+def test_adam_validation():
+    p = np.zeros(3, dtype=np.float32)
+    with pytest.raises(ValueError):
+        Adam([p], [np.zeros(4, dtype=np.float32)])
+    with pytest.raises(ValueError):
+        Adam([p], [np.zeros(3, dtype=np.float32)], learning_rate=0.0)
+    with pytest.raises(ValueError):
+        Adam([p, p], [np.zeros(3, dtype=np.float32)])
+
+
+def test_adam_zero_grad_and_weight_decay():
+    param = np.ones(4, dtype=np.float32)
+    grad = np.ones(4, dtype=np.float32)
+    opt = Adam([param], [grad], learning_rate=0.01, weight_decay=0.1)
+    opt.step()
+    assert np.all(param < 1.0)  # decay + positive gradient push the weight down
+    opt.zero_grad()
+    assert np.all(grad == 0)
+
+
+def test_mse_loss_value_and_gradient():
+    pred = np.array([[1.0, 2.0]])
+    target = np.array([[0.0, 0.0]])
+    loss, grad = mse_loss(pred, target)
+    assert loss == pytest.approx((1.0 + 4.0) / 2)
+    np.testing.assert_allclose(grad, 2 * (pred - target) / 2)
+    with pytest.raises(ValueError):
+        mse_loss(np.zeros(3), np.zeros(4))
+
+
+def test_huber_loss_quadratic_and_linear_regions():
+    pred = np.array([0.01, 1.0])
+    target = np.zeros(2)
+    loss, grad = huber_loss(pred, target, delta=0.1)
+    # First element is in the quadratic region, second in the linear region.
+    assert grad[0] == pytest.approx(0.01 / 2)
+    assert grad[1] == pytest.approx(0.1 / 2)
+    assert loss > 0
+    with pytest.raises(ValueError):
+        huber_loss(pred, target, delta=0.0)
+
+
+def test_huber_gradient_finite_difference():
+    rng = np.random.default_rng(1)
+    pred = rng.normal(size=6)
+    target = rng.normal(size=6)
+    loss, grad = huber_loss(pred, target, delta=0.3)
+    eps = 1e-6
+    for i in range(6):
+        plus, minus = pred.copy(), pred.copy()
+        plus[i] += eps
+        minus[i] -= eps
+        fd = (huber_loss(plus, target, 0.3)[0] - huber_loss(minus, target, 0.3)[0]) / (2 * eps)
+        assert fd == pytest.approx(grad[i], rel=1e-4, abs=1e-8)
+
+
+def test_psnr_properties():
+    image = np.random.default_rng(0).uniform(0, 1, (16, 16, 3))
+    assert psnr(image, image) == float("inf")
+    noisy = np.clip(image + 0.1, 0, 1)
+    noisier = np.clip(image + 0.3, 0, 1)
+    assert psnr(image, noisy) > psnr(image, noisier)
+    assert mse(image, noisy) < mse(image, noisier)
+
+
+def test_psnr_known_value():
+    a = np.zeros((4, 4))
+    b = np.full((4, 4), 0.1)
+    assert psnr(a, b) == pytest.approx(20.0, abs=1e-6)  # 10*log10(1/0.01)
+
+
+def test_ssim_bounds_and_identity():
+    rng = np.random.default_rng(2)
+    image = rng.uniform(0, 1, (24, 24, 3))
+    assert ssim(image, image) == pytest.approx(1.0, abs=1e-6)
+    other = rng.uniform(0, 1, (24, 24, 3))
+    value = ssim(image, other)
+    assert -1.0 <= value <= 1.0
+    assert value < 0.9
+    with pytest.raises(ValueError):
+        ssim(image, other[:12])

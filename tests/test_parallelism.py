@@ -1,0 +1,70 @@
+"""Tests for the heterogeneous inter-bank parallelism analysis (Fig. 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallelism import (
+    MovementCategory,
+    ParallelismKind,
+    all_data_parallel_plan,
+    all_parameter_parallel_plan,
+    analyze_plan,
+    heterogeneous_plan,
+)
+
+
+def test_heterogeneous_plan_matches_paper_assignment():
+    plan = heterogeneous_plan()
+    assert plan.kind_for("HT") is ParallelismKind.PARAMETER
+    assert plan.kind_for("HT_b") is ParallelismKind.PARAMETER
+    assert plan.kind_for("MLP") is ParallelismKind.DATA
+    assert plan.kind_for("MLP_b") is ParallelismKind.DATA
+    with pytest.raises(KeyError):
+        plan.kind_for("conv")
+
+
+def test_fig10_category_pattern_for_heterogeneous_plan():
+    """Fig. 10's table: which categories are 'Yes' for each step."""
+    traffic = analyze_plan(heterogeneous_plan(), num_banks=16).per_step
+    # HT: duplicates (input) data, no sequential transfer (first step), no grads.
+    assert traffic["HT"][MovementCategory.DUPLICATION] > 0
+    assert traffic["HT"][MovementCategory.GRADIENT_PARTIAL_SUM] == 0
+    # MLP: duplicates (tiny) parameters and receives HT's output.
+    assert traffic["MLP"][MovementCategory.DUPLICATION] > 0
+    assert traffic["MLP"][MovementCategory.SEQUENTIAL_TRANSFER] > 0
+    # MLP_b: gradient partial sums only for the small MLP weights.
+    assert traffic["MLP_b"][MovementCategory.GRADIENT_PARTIAL_SUM] > 0
+    assert traffic["MLP_b"][MovementCategory.GRADIENT_PARTIAL_SUM] < 10 * 1024**2
+    # HT_b: receives the gradient tensor, no partial sums (parameter parallel).
+    assert traffic["HT_b"][MovementCategory.SEQUENTIAL_TRANSFER] > 0
+    assert traffic["HT_b"][MovementCategory.GRADIENT_PARTIAL_SUM] == 0
+    # Category 3 (intra-step) is zero everywhere.
+    for step in traffic.values():
+        assert step[MovementCategory.INTRA_STEP] == 0
+
+
+def test_heterogeneous_plan_moves_least_data():
+    """The paper's plan must beat both homogeneous ablations."""
+    hetero = analyze_plan(heterogeneous_plan(), num_banks=16).total_bytes()
+    all_data = analyze_plan(all_data_parallel_plan(), num_banks=16).total_bytes()
+    all_param = analyze_plan(all_parameter_parallel_plan(), num_banks=16).total_bytes()
+    assert hetero < all_data
+    assert hetero < all_param
+    # Duplicating the 25 MB hash table to every bank is the worst offender.
+    assert all_data > 2 * hetero
+
+
+def test_duplication_scales_with_bank_count():
+    small = analyze_plan(heterogeneous_plan(), num_banks=2)
+    large = analyze_plan(heterogeneous_plan(), num_banks=16)
+    assert large.category_total(MovementCategory.DUPLICATION) > small.category_total(MovementCategory.DUPLICATION)
+    with pytest.raises(ValueError):
+        analyze_plan(heterogeneous_plan(), num_banks=0)
+
+
+def test_traffic_helpers():
+    traffic = analyze_plan(heterogeneous_plan(), num_banks=4)
+    total = traffic.total_bytes()
+    assert total == pytest.approx(sum(traffic.step_total(s) for s in ("HT", "MLP", "MLP_b", "HT_b")))
+    assert total == pytest.approx(sum(traffic.category_total(c) for c in MovementCategory))

@@ -1,0 +1,65 @@
+"""Tests for ray generation and point sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nerf.rays import RayBundle, generate_rays, sample_along_rays, stratified_t_values
+from repro.scenes.camera import CameraIntrinsics, look_at
+
+
+def test_ray_bundle_validation_and_selection():
+    origins = np.zeros((4, 3))
+    directions = np.tile([0.0, 0.0, -1.0], (4, 1))
+    bundle = RayBundle(origins, directions)
+    assert len(bundle) == 4
+    sub = bundle.select(np.array([0, 2]))
+    assert len(sub) == 2
+    with pytest.raises(ValueError):
+        RayBundle(np.zeros((4, 3)), np.zeros((3, 3)))
+
+
+def test_generate_rays_directions_are_unit_and_through_center():
+    intr = CameraIntrinsics.from_fov(8, 8, 60.0)
+    pose = look_at(np.array([0.0, 0.0, 2.0]), np.zeros(3))
+    rays = generate_rays(pose, intr.matrix, 8, 8)
+    assert len(rays) == 64
+    np.testing.assert_allclose(np.linalg.norm(rays.directions, axis=1), 1.0, atol=1e-9)
+    # All origins are the camera position.
+    np.testing.assert_allclose(rays.origins, np.broadcast_to([0.0, 0.0, 2.0], (64, 3)))
+    # The mean ray direction points toward the scene (negative z).
+    assert rays.directions[:, 2].mean() < -0.9
+
+
+def test_generate_rays_rejects_bad_intrinsics():
+    with pytest.raises(ValueError):
+        generate_rays(np.eye(4), np.eye(2), 4, 4)
+
+
+def test_stratified_t_values_within_bounds_and_sorted():
+    t = stratified_t_values(10, 16, near=0.5, far=3.5, rng=np.random.default_rng(0), jitter=True)
+    assert t.shape == (10, 16)
+    assert np.all(t >= 0.5) and np.all(t <= 3.5)
+    assert np.all(np.diff(t, axis=1) > 0)  # one sample per increasing bin
+
+
+def test_stratified_t_values_no_jitter_is_deterministic():
+    a = stratified_t_values(3, 8, 1.0, 2.0, jitter=False)
+    b = stratified_t_values(3, 8, 1.0, 2.0, jitter=False)
+    np.testing.assert_array_equal(a, b)
+    with pytest.raises(ValueError):
+        stratified_t_values(3, 8, 2.0, 1.0)
+    with pytest.raises(ValueError):
+        stratified_t_values(0, 8, 1.0, 2.0)
+
+
+def test_sample_along_rays_positions():
+    bundle = RayBundle(np.zeros((2, 3)), np.array([[0.0, 0.0, -1.0], [1.0, 0.0, 0.0]]))
+    t = np.array([[1.0, 2.0], [1.0, 2.0]])
+    points = sample_along_rays(bundle, t)
+    assert points.shape == (2, 2, 3)
+    np.testing.assert_allclose(points[0, 0], [0.0, 0.0, -1.0])
+    np.testing.assert_allclose(points[1, 1], [2.0, 0.0, 0.0])
+    with pytest.raises(ValueError):
+        sample_along_rays(bundle, np.zeros((3, 2)))

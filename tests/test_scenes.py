@@ -1,0 +1,137 @@
+"""Tests for the SDF primitives, scene library and camera model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenes.camera import CameraIntrinsics, look_at, poses_on_sphere
+from repro.scenes.library import SCENE_NAMES, available_scenes, build_scene
+from repro.scenes.primitives import (
+    ColoredPrimitive,
+    SDFScene,
+    box_sdf,
+    cylinder_sdf,
+    plane_sdf,
+    smooth_union,
+    sphere_sdf,
+    torus_sdf,
+)
+
+
+def test_sphere_sdf_signs():
+    center = np.array([0.0, 0.0, 0.0])
+    assert sphere_sdf(np.array([[0.0, 0.0, 0.0]]), center, 1.0)[0] == pytest.approx(-1.0)
+    assert sphere_sdf(np.array([[2.0, 0.0, 0.0]]), center, 1.0)[0] == pytest.approx(1.0)
+    assert sphere_sdf(np.array([[1.0, 0.0, 0.0]]), center, 1.0)[0] == pytest.approx(0.0)
+
+
+def test_box_and_cylinder_sdf_inside_outside():
+    box = box_sdf(np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]]), [0, 0, 0], [0.5, 0.5, 0.5])
+    assert box[0] < 0 < box[1]
+    cyl = cylinder_sdf(np.array([[0.0, 0.0, 0.0], [0.0, 5.0, 0.0]]), [0, 0, 0], 1.0, 1.0)
+    assert cyl[0] < 0 < cyl[1]
+
+
+def test_torus_and_plane_sdf():
+    torus = torus_sdf(np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 0.0]]), [0, 0, 0], 1.0, 0.2)
+    assert torus[0] < 0 < torus[1]
+    plane = plane_sdf(np.array([[0.0, 1.0, 0.0], [0.0, -1.0, 0.0]]), [0.0, 1.0, 0.0], 0.0)
+    assert plane[0] > 0 > plane[1]
+
+
+def test_smooth_union_lower_bound():
+    d1 = np.array([0.5, -0.2])
+    d2 = np.array([0.3, 0.4])
+    union = smooth_union(d1, d2, k=0.1)
+    assert np.all(union <= np.minimum(d1, d2) + 1e-9)
+
+
+def test_colored_primitive_density_profile():
+    prim = ColoredPrimitive(lambda p: sphere_sdf(p, [0, 0, 0], 0.5), (1.0, 0.0, 0.0), density_scale=10.0)
+    inside = prim.density(np.array([[0.0, 0.0, 0.0]]))[0]
+    outside = prim.density(np.array([[2.0, 0.0, 0.0]]))[0]
+    assert inside > 9.0
+    assert outside < 0.1
+
+
+def test_scene_library_contains_all_eight_scenes():
+    assert available_scenes() == SCENE_NAMES
+    assert len(SCENE_NAMES) == 8
+    for name in SCENE_NAMES:
+        scene = build_scene(name)
+        assert isinstance(scene, SDFScene)
+        assert scene.name == name
+        points = np.random.default_rng(0).uniform(-1, 1, (64, 3))
+        density = scene.density(points)
+        color = scene.color(points)
+        assert density.shape == (64,)
+        assert color.shape == (64, 3)
+        assert np.all(density >= 0)
+        assert np.all((color >= 0) & (color <= 1))
+        # Every scene must contain some occupied volume near the origin region.
+        dense_points = np.random.default_rng(1).uniform(-0.6, 0.6, (512, 3))
+        assert scene.density(dense_points).max() > 1.0
+
+
+def test_build_scene_unknown_name():
+    with pytest.raises(KeyError):
+        build_scene("spaceship")
+
+
+def test_scenes_are_distinct():
+    points = np.random.default_rng(3).uniform(-0.8, 0.8, (256, 3))
+    signatures = {name: build_scene(name).density(points).sum() for name in SCENE_NAMES}
+    assert len({round(v, 3) for v in signatures.values()}) == len(SCENE_NAMES)
+
+
+def test_scene_radiance_view_dependence():
+    scene = build_scene("lego")
+    points = np.random.default_rng(0).uniform(-0.5, 0.5, (32, 3))
+    up = np.tile([0.0, 1.0, 0.0], (32, 1))
+    down = np.tile([0.0, -1.0, 0.0], (32, 1))
+    _, rgb_up = scene.radiance(points, up)
+    _, rgb_down = scene.radiance(points, down)
+    assert rgb_up.mean() >= rgb_down.mean()
+
+
+def test_camera_intrinsics_from_fov():
+    intr = CameraIntrinsics.from_fov(64, 64, 90.0)
+    assert intr.focal == pytest.approx(32.0, rel=1e-6)
+    assert intr.matrix.shape == (3, 3)
+    with pytest.raises(ValueError):
+        CameraIntrinsics.from_fov(0, 64, 60.0)
+    with pytest.raises(ValueError):
+        CameraIntrinsics.from_fov(64, 64, 0.0)
+
+
+def test_look_at_produces_orthonormal_rotation():
+    pose = look_at([2.0, 1.0, 2.0], [0.0, 0.0, 0.0])
+    rotation = pose[:3, :3]
+    np.testing.assert_allclose(rotation.T @ rotation, np.eye(3), atol=1e-9)
+    # Camera -z axis points from eye toward the target.
+    forward = -rotation[:, 2]
+    expected = np.array([0.0, 0.0, 0.0]) - np.array([2.0, 1.0, 2.0])
+    expected = expected / np.linalg.norm(expected)
+    np.testing.assert_allclose(forward, expected, atol=1e-9)
+
+
+def test_look_at_degenerate_up_direction():
+    pose = look_at([0.0, 2.0, 0.0], [0.0, 0.0, 0.0])
+    assert np.all(np.isfinite(pose))
+
+
+@given(st.integers(1, 24), st.floats(1.0, 5.0))
+@settings(max_examples=20, deadline=None)
+def test_poses_on_sphere_radius_property(num_poses, radius):
+    poses = poses_on_sphere(num_poses, radius=radius)
+    assert len(poses) == num_poses
+    for pose in poses:
+        assert np.linalg.norm(pose[:3, 3]) == pytest.approx(radius, rel=1e-6)
+
+
+def test_poses_on_sphere_validation():
+    with pytest.raises(ValueError):
+        poses_on_sphere(0)

@@ -1,0 +1,99 @@
+"""Tests for the point streaming orders and Fig. 7 locality statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import MortonLocalityHash, OriginalSpatialHash
+from repro.core.streaming import (
+    StreamingOrder,
+    effective_bandwidth_improvement,
+    memory_requests_for_stream,
+    point_order,
+    points_sharing_same_cube,
+    register_hit_rate,
+)
+from repro.nerf.encoding import HashGridConfig
+from repro.workloads.traces import TraceConfig, generate_batch_points
+
+
+@pytest.fixture(scope="module")
+def ray_points():
+    return generate_batch_points(TraceConfig(num_rays=32, points_per_ray=32, seed=0))
+
+
+def test_point_order_shapes_and_kinds():
+    ray_first = point_order(4, 8, StreamingOrder.RAY_FIRST)
+    assert ray_first.tolist() == list(range(32))
+    shuffled = point_order(4, 8, StreamingOrder.RANDOM, rng=np.random.default_rng(0))
+    assert sorted(shuffled.tolist()) == list(range(32))
+    assert shuffled.tolist() != list(range(32))
+    with pytest.raises(ValueError):
+        point_order(0, 8, StreamingOrder.RANDOM)
+
+
+def test_ray_first_order_shares_cubes_more_than_random(ray_points):
+    """Fig. 7(a): ray-first streaming keeps consecutive points in the same cube."""
+    flat = ray_points.reshape(-1, 3)
+    num = ray_points.shape[0] * ray_points.shape[1]
+    ray_order = point_order(ray_points.shape[0], ray_points.shape[1], StreamingOrder.RAY_FIRST)
+    random_order = point_order(
+        ray_points.shape[0], ray_points.shape[1], StreamingOrder.RANDOM, rng=np.random.default_rng(1)
+    )
+    for resolution in (16, 64):
+        ray_sharing = points_sharing_same_cube(flat, resolution, ray_order)
+        random_sharing = points_sharing_same_cube(flat, resolution, random_order)
+        assert ray_sharing > random_sharing
+        assert ray_sharing > 1.5
+        assert random_sharing < 1.5
+    assert register_hit_rate(flat, 16, ray_order) > register_hit_rate(flat, 16, random_order)
+
+
+def test_sharing_decreases_with_resolution(ray_points):
+    """Fig. 7(a) shape: coarse levels share much more than fine levels."""
+    flat = ray_points.reshape(-1, 3)
+    coarse = points_sharing_same_cube(flat, 16)
+    fine = points_sharing_same_cube(flat, 1024)
+    assert coarse > fine
+    assert fine >= 1.0
+
+
+def test_memory_requests_reduced_by_morton_and_ray_order(ray_points):
+    grid = HashGridConfig(num_levels=8, table_size=2**14, max_resolution=512)
+    flat = ray_points.reshape(-1, 3)
+    level = 6
+    baseline = memory_requests_for_stream(
+        flat, level, grid, OriginalSpatialHash(),
+        order=point_order(32, 32, StreamingOrder.RANDOM, rng=np.random.default_rng(2)),
+    )
+    optimized = memory_requests_for_stream(flat, level, grid, MortonLocalityHash())
+    assert optimized < baseline
+    assert optimized >= 1
+
+
+def test_effective_bandwidth_improvement_matches_paper_shape(ray_points):
+    """Fig. 7(b): the combined techniques give a multi-x improvement on every level."""
+    grid = HashGridConfig(num_levels=8, table_size=2**14, max_resolution=1024)
+    reports = effective_bandwidth_improvement(
+        points=ray_points,
+        grid_config=grid,
+        baseline_hash=OriginalSpatialHash(),
+        optimized_hash=MortonLocalityHash(),
+        num_rays=32,
+        points_per_ray=32,
+    )
+    assert len(reports) == 8
+    improvements = [r.effective_bandwidth_improvement for r in reports]
+    assert all(imp > 1.5 for imp in improvements)
+    assert max(improvements) > 5.0
+    # Coarse levels improve at least as much as the finest level (paper shape).
+    assert improvements[0] > improvements[-1]
+    for report in reports:
+        assert report.baseline_requests >= report.optimized_requests
+        assert 0.0 <= report.register_hit_rate <= 1.0
+
+
+def test_points_sharing_empty_input():
+    assert points_sharing_same_cube(np.zeros((0, 3)), 16) == 0.0
+    assert register_hit_rate(np.zeros((1, 3)), 16) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the differentiable volume renderer (Eq. (1))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nerf.losses import mse_loss
+from repro.nerf.volume_rendering import accumulate_transmittance, render_rays, render_rays_backward
+
+
+def _random_inputs(rng, rays=4, samples=8):
+    sigma = rng.uniform(0.0, 4.0, (rays, samples))
+    colors = rng.uniform(0.0, 1.0, (rays, samples, 3))
+    t_values = np.sort(rng.uniform(0.2, 4.0, (rays, samples)), axis=1)
+    return sigma, colors, t_values
+
+
+def test_transmittance_starts_at_one_and_decreases():
+    sigma = np.array([[1.0, 1.0, 1.0]])
+    deltas = np.array([[0.5, 0.5, 0.5]])
+    trans = accumulate_transmittance(sigma, deltas)
+    assert trans[0, 0] == pytest.approx(1.0)
+    assert np.all(np.diff(trans[0]) <= 0)
+
+
+def test_zero_density_renders_background():
+    sigma = np.zeros((2, 5))
+    colors = np.ones((2, 5, 3)) * 0.3
+    t_values = np.linspace(0.5, 2.0, 5)
+    out = render_rays(sigma, colors, t_values, background=np.array([1.0, 0.0, 0.5]))
+    np.testing.assert_allclose(out.rgb, np.broadcast_to([1.0, 0.0, 0.5], (2, 3)), atol=1e-12)
+    np.testing.assert_allclose(out.opacity, 0.0, atol=1e-12)
+
+
+def test_opaque_first_sample_dominates():
+    sigma = np.zeros((1, 4))
+    sigma[0, 0] = 1e6
+    colors = np.zeros((1, 4, 3))
+    colors[0, 0] = [0.2, 0.4, 0.6]
+    colors[0, 1:] = [1.0, 1.0, 1.0]
+    out = render_rays(sigma, colors, np.linspace(0.5, 2.0, 4))
+    np.testing.assert_allclose(out.rgb[0], [0.2, 0.4, 0.6], atol=1e-6)
+    assert out.opacity[0] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_weights_are_nonnegative_and_bounded(rng):
+    sigma, colors, t_values = _random_inputs(rng)
+    out = render_rays(sigma, colors, t_values)
+    assert np.all(out.weights >= 0)
+    assert np.all(out.weights.sum(axis=-1) <= 1.0 + 1e-9)
+    assert np.all(out.rgb >= 0) and np.all(out.rgb <= 1.0 + 1e-9)
+
+
+def test_render_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        render_rays(np.zeros((2, 3)), np.zeros((2, 4, 3)), np.linspace(0, 1, 3))
+    with pytest.raises(ValueError):
+        render_rays(np.zeros(3), np.zeros((3, 3)), np.linspace(0, 1, 3))
+
+
+@pytest.mark.parametrize("use_background", [False, True])
+def test_backward_matches_finite_differences(rng, use_background):
+    sigma, colors, t_values = _random_inputs(rng, rays=3, samples=6)
+    background = np.array([1.0, 1.0, 1.0]) if use_background else None
+    target = rng.uniform(0, 1, (3, 3))
+
+    def loss_of(s, c):
+        return mse_loss(render_rays(s, c, t_values, background=background).rgb, target)[0]
+
+    out = render_rays(sigma, colors, t_values, background=background)
+    _, grad_rgb = mse_loss(out.rgb, target)
+    grad_sigma, grad_colors = render_rays_backward(grad_rgb, sigma, colors, t_values, out, background=background)
+
+    eps = 1e-6
+    for i in range(sigma.shape[0]):
+        for j in range(sigma.shape[1]):
+            plus, minus = sigma.copy(), sigma.copy()
+            plus[i, j] += eps
+            minus[i, j] -= eps
+            fd = (loss_of(plus, colors) - loss_of(minus, colors)) / (2 * eps)
+            assert fd == pytest.approx(grad_sigma[i, j], rel=1e-4, abs=1e-7)
+    for idx in [(0, 0, 0), (1, 3, 1), (2, 5, 2)]:
+        plus, minus = colors.copy(), colors.copy()
+        plus[idx] += eps
+        minus[idx] -= eps
+        fd = (loss_of(sigma, plus) - loss_of(sigma, minus)) / (2 * eps)
+        assert fd == pytest.approx(grad_colors[idx], rel=1e-4, abs=1e-7)
+
+
+@given(
+    arrays(np.float64, (2, 6), elements=st.floats(0.0, 10.0)),
+    arrays(np.float64, (2, 6, 3), elements=st.floats(0.0, 1.0)),
+)
+@settings(max_examples=40, deadline=None)
+def test_rendered_color_is_convex_combination(sigma, colors):
+    """Property: without background, C_hat is a sub-convex combination of sample colors."""
+    t_values = np.linspace(0.1, 2.0, 6)
+    out = render_rays(sigma, colors, t_values)
+    max_color = colors.max(axis=1)
+    assert np.all(out.rgb <= max_color + 1e-9)
+    assert np.all(out.rgb >= 0.0)
+
+
+def test_depth_increases_when_density_moves_farther():
+    t_values = np.linspace(0.5, 3.0, 8)
+    near_sigma = np.zeros((1, 8))
+    near_sigma[0, 1] = 50.0
+    far_sigma = np.zeros((1, 8))
+    far_sigma[0, 6] = 50.0
+    colors = np.ones((1, 8, 3)) * 0.5
+    near_depth = render_rays(near_sigma, colors, t_values).depth[0]
+    far_depth = render_rays(far_sigma, colors, t_values).depth[0]
+    assert far_depth > near_depth

@@ -1,0 +1,135 @@
+"""Tests for the workload characterisation (batch, steps, traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import MortonLocalityHash, OriginalSpatialHash
+from repro.nerf.encoding import HashGridConfig
+from repro.workloads import (
+    PAPER_BATCH,
+    BatchGeometry,
+    HashTraceGenerator,
+    INGPWorkloadModel,
+    StepName,
+    TraceConfig,
+    generate_batch_points,
+    level_lookup_indices,
+    lookup_addresses,
+)
+
+
+def test_paper_batch_geometry():
+    PAPER_BATCH.validate()
+    assert PAPER_BATCH.points_per_iteration == 256 * 1024
+    assert PAPER_BATCH.iterations_per_scene == 35_000
+    assert PAPER_BATCH.rays_per_iteration == 8192
+    assert PAPER_BATCH.input_bytes_per_iteration == 256 * 1024 * 24
+
+
+def test_batch_geometry_validation():
+    with pytest.raises(ValueError):
+        BatchGeometry(points_per_iteration=0).validate()
+    with pytest.raises(ValueError):
+        BatchGeometry(points_per_iteration=100, points_per_ray=32).validate()
+
+
+def test_table2_sizes_match_paper():
+    """Table II: derived sizes must be close to the paper's reported MB values."""
+    table = INGPWorkloadModel().table2()
+    assert table["HT"]["param_mb"] == pytest.approx(25.0, rel=0.15)
+    assert table["HT"]["input_mb"] == pytest.approx(3.0, rel=0.05)
+    assert table["HT"]["output_mb"] == pytest.approx(16.0, rel=0.05)
+    assert table["MLP"]["param_mb"] == pytest.approx(0.014, rel=0.5)
+    assert table["MLP"]["input_mb"] == pytest.approx(16.0, rel=0.05)
+    assert table["MLP"]["output_mb"] == pytest.approx(1.5, rel=0.4)
+    assert table["MLP"]["intermediate_mb"] == pytest.approx(32.0, rel=0.05)
+    assert table["HT_b"]["param_mb"] == pytest.approx(25.0, rel=0.15)
+    assert table["HT_b"]["input_mb"] == pytest.approx(16.0, rel=0.05)
+    assert table["HT_b"]["output_mb"] == 0.0
+    assert table["HT"]["intermediate_mb"] == 0.0
+
+
+def test_each_hash_level_is_about_2mb():
+    model = INGPWorkloadModel()
+    fine_levels = [b for lvl, b in enumerate(model.level_bytes) if model.grid.level_uses_hash(lvl)]
+    for level_bytes in fine_levels:
+        assert level_bytes / 1024**2 == pytest.approx(2.0, rel=0.01)
+
+
+def test_step_descriptors_are_consistent():
+    model = INGPWorkloadModel()
+    steps = model.all_steps()
+    assert len(steps) == len(StepName)
+    for step in steps:
+        assert step.dram_traffic_bytes > 0
+        assert step.arithmetic_intensity >= 0
+    ht = model.step(StepName.HT)
+    assert ht.reads_parameters_randomly
+    assert ht.int_ops > ht.fp_ops  # index calculation dominates integer work
+    mlp = model.step(StepName.MLP_COLOR)
+    assert not mlp.reads_parameters_randomly
+    assert mlp.fp_ops > 0 and mlp.int_ops == 0
+    backward = model.step(StepName.MLP_COLOR_BACKWARD)
+    assert backward.fp_ops == pytest.approx(2 * mlp.fp_ops)
+
+
+def test_workload_scales_with_batch_size():
+    small = INGPWorkloadModel(batch=BatchGeometry(points_per_iteration=64 * 1024, points_per_ray=32))
+    large = INGPWorkloadModel(batch=BatchGeometry(points_per_iteration=256 * 1024, points_per_ray=32))
+    assert large.encoding_output_bytes == 4 * small.encoding_output_bytes
+    assert large.step(StepName.HT).fp_ops == 4 * small.step(StepName.HT).fp_ops
+    # Hash-table size is independent of batch size.
+    assert large.hash_table_bytes == small.hash_table_bytes
+
+
+# -------------------------------------------------------------------- traces
+def test_generate_batch_points_shape_and_ray_ordering():
+    config = TraceConfig(num_rays=16, points_per_ray=8, seed=3)
+    points = generate_batch_points(config)
+    assert points.shape == (16, 8, 3)
+    assert np.all((points >= 0) & (points <= 1))
+    # Points along one ray are closer to each other than to other rays' points.
+    intra = np.linalg.norm(np.diff(points, axis=1), axis=-1).mean()
+    inter = np.linalg.norm(points[0, 0] - points[1:, 0], axis=-1).mean()
+    assert intra < inter
+
+
+def test_level_lookup_indices_bounds():
+    grid = HashGridConfig(num_levels=8, table_size=2**14, max_resolution=256)
+    points = generate_batch_points(TraceConfig(num_rays=8, points_per_ray=8))
+    for level in (0, 4, 7):
+        idx = level_lookup_indices(points.reshape(-1, 3), level, grid)
+        assert idx.shape == (64, 8)
+        assert idx.min() >= 0
+        assert idx.max() < grid.level_table_entries(level)
+
+
+def test_lookup_addresses_respect_level_offsets():
+    grid = HashGridConfig(num_levels=4, table_size=2**12, max_resolution=64)
+    indices = np.array([0, 1, 2])
+    addr_l0 = lookup_addresses(indices, 0, grid, entry_bytes=4)
+    addr_l1 = lookup_addresses(indices, 1, grid, entry_bytes=4)
+    assert list(addr_l0) == [0, 4, 8]
+    assert addr_l1.min() >= grid.level_table_entries(0) * 4
+
+
+def test_hash_trace_generator_full_trace():
+    grid = HashGridConfig(num_levels=4, table_size=2**12, max_resolution=64)
+    generator = HashTraceGenerator(grid, TraceConfig(num_rays=8, points_per_ray=8), hash_fn=MortonLocalityHash())
+    trace = generator.full_trace()
+    assert trace.shape == (4 * 64 * 8,)
+    assert np.all(trace >= 0)
+    # A point permutation changes the trace order but not its multiset size.
+    order = np.random.default_rng(0).permutation(64)
+    permuted = generator.full_trace(order)
+    assert permuted.shape == trace.shape
+
+
+def test_trace_generator_hash_function_changes_addresses():
+    grid = HashGridConfig(num_levels=6, table_size=2**12, max_resolution=256)
+    trace_cfg = TraceConfig(num_rays=8, points_per_ray=8)
+    morton = HashTraceGenerator(grid, trace_cfg, hash_fn=MortonLocalityHash()).addresses_for_level(5)
+    original = HashTraceGenerator(grid, trace_cfg, hash_fn=OriginalSpatialHash()).addresses_for_level(5)
+    assert not np.array_equal(morton, original)
