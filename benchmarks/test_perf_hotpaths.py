@@ -1,0 +1,235 @@
+"""Hot-path performance benchmarks: vectorized engines vs retained loop oracles.
+
+Each test times a vectorized hot path against the loop implementation it
+replaced (the loops are kept in the codebase as reference oracles), asserts
+the results agree, asserts a conservative speedup floor, and records the
+measured numbers.  On module teardown the measurements are appended to
+``BENCH_hotpaths.json`` at the repository root so successive runs build a
+performance trajectory.
+
+Scales follow the paper: 4096 rays x 64 samples = 256K points per training
+iteration over the 16-level / 2**19-entry hash table.  Setting
+``PERF_SMOKE=1`` shrinks the inputs and drops the speedup assertions
+(equivalence is still checked) so CI smoke runs stay fast and insensitive to
+machine load.
+
+A note on the encoding-backward floor: the historical 5-20x gap between
+``np.add.at`` and a bincount segment sum narrowed considerably once numpy
+(>= 1.23) gained an indexed-loop fast path for ``ufunc.at``; on numpy 2.x the
+honest end-to-end gain is ~3-5x, so the assertion floor is set at 2.5x and
+the actual measured ratio is tracked in the JSON trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import (
+    MortonLocalityHash,
+    average_row_requests_per_cube,
+    average_row_requests_per_cube_reference,
+)
+from repro.core.mapping import HashTableMapper, HashTableMappingConfig
+from repro.core.streaming import (
+    memory_requests_for_stream,
+    memory_requests_for_stream_reference,
+)
+from repro.dram.system import DRAMSystem
+from repro.dram.trace import MemoryRequest
+from repro.nerf.encoding import HashGridConfig, HashGridEncoding
+from repro.workloads.traces import HashTraceGenerator, TraceConfig, generate_batch_points
+
+SMOKE = os.environ.get("PERF_SMOKE", "") == "1"
+NUM_RAYS = 256 if SMOKE else 4096
+POINTS_PER_RAY = 16 if SMOKE else 64  # 4096 x 64 = 256K points/iteration
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _time(fn, repeats=2):
+    """Best-of-``repeats`` wall time and the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _record(name: str, reference_s: float, vectorized_s: float) -> float:
+    speedup = reference_s / vectorized_s if vectorized_s > 0 else float("inf")
+    _RESULTS[name] = {
+        "reference_s": round(reference_s, 4),
+        "vectorized_s": round(vectorized_s, 4),
+        "speedup": round(speedup, 2),
+    }
+    print(f"\n{name}: reference {reference_s:.3f}s vectorized {vectorized_s:.3f}s -> {speedup:.1f}x")
+    return speedup
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Append this run's measurements to the BENCH_hotpaths.json trajectory."""
+    yield
+    if not _RESULTS:
+        return
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": SMOKE,
+        "num_rays": NUM_RAYS,
+        "points_per_ray": POINTS_PER_RAY,
+        "results": _RESULTS,
+    }
+    trajectory = []
+    if BENCH_PATH.exists():
+        try:
+            trajectory = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            trajectory = []
+    trajectory.append(entry)
+    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def paper_grid():
+    return HashGridConfig()  # L=16, T=2**19, paper defaults
+
+
+@pytest.fixture(scope="module")
+def paper_points():
+    pts = generate_batch_points(TraceConfig(num_rays=NUM_RAYS, points_per_ray=POINTS_PER_RAY, seed=0))
+    return pts.reshape(-1, 3)
+
+
+def test_memory_requests_for_stream_speedup(paper_grid, paper_points):
+    """Vectorized run-length/row-set accounting vs the per-point loop, all levels."""
+    hash_fn = MortonLocalityHash()
+    levels = range(paper_grid.num_levels)
+    memory_requests_for_stream(paper_points, 0, paper_grid, hash_fn)  # warm
+    vec_s, vec = _time(lambda: [memory_requests_for_stream(paper_points, l, paper_grid, hash_fn) for l in levels])
+    ref_s, ref = _time(
+        lambda: [memory_requests_for_stream_reference(paper_points, l, paper_grid, hash_fn) for l in levels],
+        repeats=1,
+    )
+    assert vec == ref
+    speedup = _record("memory_requests_for_stream", ref_s, vec_s)
+    if not SMOKE:
+        assert speedup >= 5.0
+
+
+def test_count_conflicts_speedup(paper_grid, paper_points):
+    """Lexsort-segmented conflict counting vs the nested group/key loops."""
+    generator = HashTraceGenerator(
+        paper_grid,
+        TraceConfig(num_rays=NUM_RAYS, points_per_ray=POINTS_PER_RAY, seed=0),
+        hash_fn=MortonLocalityHash(),
+    )
+    indices = generator.indices_for_level(paper_grid.num_levels - 1).ravel()
+    mapper = HashTableMapper(paper_grid, HashTableMappingConfig())
+    level = paper_grid.num_levels - 1
+    mapper.count_conflicts(level, indices, parallel_points=32)  # warm
+    vec_s, vec = _time(lambda: mapper.count_conflicts(level, indices, parallel_points=32))
+    ref_s, ref = _time(lambda: mapper.count_conflicts_reference(level, indices, parallel_points=32), repeats=1)
+    assert vec == ref
+    speedup = _record("count_conflicts", ref_s, vec_s)
+    if not SMOKE:
+        assert speedup >= 5.0
+
+
+def test_encoding_backward_speedup(paper_grid, paper_points):
+    """Bincount segment-sum gradient scatter vs the np.add.at scatter."""
+    rng = np.random.default_rng(0)
+    enc = HashGridEncoding(paper_grid, rng=rng)
+    upstream = rng.normal(size=(paper_points.shape[0], paper_grid.output_dim)).astype(np.float32)
+    enc.forward(paper_points)
+
+    def run(backward):
+        enc.zero_grad()
+        backward(upstream)
+
+    vec_s, _ = _time(lambda: run(enc.backward))
+    enc.zero_grad()
+    enc.backward(upstream)
+    vec_grads = [g.copy() for g in enc.grads]
+    ref_s, _ = _time(lambda: run(enc.backward_reference), repeats=1)
+    enc.zero_grad()
+    enc.backward_reference(upstream)
+    for fast, ref in zip(vec_grads, enc.grads):
+        np.testing.assert_allclose(fast, ref, atol=1e-4)
+    speedup = _record("encoding_backward", ref_s, vec_s)
+    if not SMOKE:
+        assert speedup >= 2.5  # see module docstring on the numpy>=1.23 add.at fast path
+
+
+def test_encoding_forward_fused_not_slower(paper_grid, paper_points):
+    """Fused multi-level hashing must match the per-level loop and not regress.
+
+    Compares the index/weight engines directly (the embedding gather is
+    identical in both forward paths) on a slice of the batch: full-batch
+    wall times here are dominated by allocator page-fault noise for the
+    ~400 MB of per-call outputs, which would swamp the engine comparison.
+    """
+    rng = np.random.default_rng(1)
+    enc = HashGridEncoding(paper_grid, rng=rng)
+    pts = paper_points[: min(paper_points.shape[0], 65536)]
+
+    def per_level():
+        return [enc.vertex_indices(pts, level)[:2] for level in range(paper_grid.num_levels)]
+
+    enc.multilevel_vertex_indices(pts)  # warm
+    per_level()  # warm
+    vec_s, (fused_idx, fused_w) = _time(lambda: enc.multilevel_vertex_indices(pts))
+    ref_s, reference = _time(per_level)
+    for level, (idx, w) in enumerate(reference):
+        np.testing.assert_array_equal(fused_idx[level], idx)
+        np.testing.assert_array_equal(fused_w[level], w)
+    speedup = _record("encoding_forward_indices", ref_s, vec_s)
+    if not SMOKE:
+        assert speedup >= 0.9  # fused engine must not lose to the level loop
+
+
+def test_average_row_requests_speedup(paper_grid, paper_points):
+    """Per-axis sorted distinct-row counting vs the per-cube np.unique loop."""
+    res = paper_grid.resolutions[paper_grid.num_levels - 1]
+    base = np.clip((paper_points * res).astype(np.int64), 0, res - 1)
+    hash_fn = MortonLocalityHash()
+    average_row_requests_per_cube(hash_fn, base, paper_grid.table_size)  # warm
+    vec_s, vec = _time(lambda: average_row_requests_per_cube(hash_fn, base, paper_grid.table_size))
+    ref_s, ref = _time(
+        lambda: average_row_requests_per_cube_reference(hash_fn, base, paper_grid.table_size), repeats=1
+    )
+    assert vec == ref
+    speedup = _record("average_row_requests_per_cube", ref_s, vec_s)
+    if not SMOKE:
+        assert speedup >= 3.0
+
+
+def test_dram_service_batch_speedup():
+    """Batched address decode vs one 6-array decode per request."""
+    rng = np.random.default_rng(7)
+    n = 2000 if SMOKE else 20000
+    addresses = (rng.integers(0, 2**27, size=n) * 4).astype(np.int64)
+
+    def via_objects():
+        return DRAMSystem().service_requests([MemoryRequest(int(a)) for a in addresses])
+
+    def via_batch():
+        return DRAMSystem().service_batch(addresses)
+
+    via_batch()  # warm
+    vec_s, batch_result = _time(via_batch, repeats=1)
+    ref_s, object_result = _time(via_objects, repeats=1)
+    assert batch_result == object_result
+    speedup = _record("dram_service_batch", ref_s, vec_s)
+    if not SMOKE:
+        # The sequential bank state machine dominates service time, so the
+        # vectorized decode only has to not lose; the measured margin is
+        # tracked in the JSON trajectory.
+        assert speedup >= 0.95

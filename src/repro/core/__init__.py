@@ -18,6 +18,7 @@ from .hashing import (
     MortonLocalityHash,
     OriginalSpatialHash,
     average_row_requests_per_cube,
+    average_row_requests_per_cube_reference,
     cube_vertices,
     index_distance_breakdown,
 )
@@ -30,6 +31,7 @@ _LAZY_EXPORTS = {
     "StreamingOrder": "streaming",
     "effective_bandwidth_improvement": "streaming",
     "memory_requests_for_stream": "streaming",
+    "memory_requests_for_stream_reference": "streaming",
     "point_order": "streaming",
     "points_sharing_same_cube": "streaming",
     "register_hit_rate": "streaming",
@@ -76,6 +78,7 @@ __all__ = [
     "MortonLocalityHash",
     "OriginalSpatialHash",
     "average_row_requests_per_cube",
+    "average_row_requests_per_cube_reference",
     "cube_vertices",
     "index_distance_breakdown",
     "morton_decode_3d",

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .morton import morton_hash
+from .morton import _mod_table, morton_corner_codes, morton_encode_3d, morton_hash
 
 __all__ = [
     "HashFunction",
@@ -29,6 +29,7 @@ __all__ = [
     "cube_vertices",
     "index_distance_breakdown",
     "average_row_requests_per_cube",
+    "average_row_requests_per_cube_reference",
     "IndexDistanceStats",
     "DISTANCE_BIN_EDGES",
     "DISTANCE_BIN_LABELS",
@@ -77,6 +78,18 @@ class HashFunction:
     def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
         raise NotImplementedError
 
+    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+        """Table indices of all 8 cube corners per base vertex, shape ``(N, 8)``.
+
+        Semantically identical to expanding :func:`cube_vertices` and calling
+        the hash on the flattened corners; concrete hashes override this with
+        incremental formulations that reuse the base computation instead of
+        re-hashing every corner from scratch (the hot path of the streaming
+        and row-request statistics).
+        """
+        verts = cube_vertices(base_coords)  # (N, 8, 3)
+        return self(verts.reshape(-1, 3), table_size).reshape(verts.shape[0], 8)
+
 
 class OriginalSpatialHash(HashFunction):
     """iNGP's prime-multiplication XOR spatial hash.
@@ -101,7 +114,22 @@ class OriginalSpatialHash(HashFunction):
         acc = coords[..., 0] * np.uint64(self.primes[0])
         acc = acc ^ (coords[..., 1] * np.uint64(self.primes[1]))
         acc = acc ^ (coords[..., 2] * np.uint64(self.primes[2]))
-        return (acc % np.uint64(table_size)).astype(np.int64)
+        return _mod_table(acc, table_size)
+
+    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+        # (x + dx) * p == x * p + dx * p with uint64 wraparound, so the three
+        # per-axis products are computed once and each corner is two XORs.
+        base = np.asarray(base_coords, dtype=np.uint64)
+        if base.ndim != 2 or base.shape[1] != 3:
+            raise ValueError(f"base_coords must have shape (N, 3), got {base.shape}")
+        primes = [np.uint64(p) for p in self.primes]
+        products = [base[:, a] * primes[a] for a in range(3)]
+        axis = [(products[a], products[a] + primes[a]) for a in range(3)]
+        out = np.empty((base.shape[0], 8), dtype=np.uint64)
+        for m in range(8):
+            i, j, k = (m >> 2) & 1, (m >> 1) & 1, m & 1
+            out[:, m] = axis[0][i] ^ axis[1][j] ^ axis[2][k]
+        return _mod_table(out, table_size)
 
 
 class MortonLocalityHash(HashFunction):
@@ -111,6 +139,20 @@ class MortonLocalityHash(HashFunction):
 
     def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
         return morton_hash(coords, table_size)
+
+    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+        # One bit-interleave of the base plus masked increments in Morton
+        # space replaces eight full interleaves (see morton_corner_codes).
+        if table_size <= 0:
+            raise ValueError(f"table_size must be positive, got {table_size}")
+        base = np.asarray(base_coords)
+        if base.ndim != 2 or base.shape[1] != 3:
+            raise ValueError(f"base_coords must have shape (N, 3), got {base.shape}")
+        if np.issubdtype(base.dtype, np.signedinteger) or np.issubdtype(base.dtype, np.floating):
+            if base.size and np.any(base < 0):
+                raise ValueError("morton_hash requires non-negative coordinates")
+        codes = morton_corner_codes(morton_encode_3d(base[:, 0], base[:, 1], base[:, 2]))
+        return _mod_table(codes, table_size)
 
 
 class DenseGridIndexer(HashFunction):
@@ -133,6 +175,20 @@ class DenseGridIndexer(HashFunction):
         r = self.resolution + 1  # vertices per axis
         idx = coords[..., 0] + r * (coords[..., 1] + r * coords[..., 2])
         return (idx % table_size).astype(np.int64)
+
+    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+        # Row-major indexing is affine, so each corner is the base index plus
+        # a constant stride (1, r, or r*r per incremented axis).
+        base = np.asarray(base_coords, dtype=np.int64)
+        if base.ndim != 2 or base.shape[1] != 3:
+            raise ValueError(f"base_coords must have shape (N, 3), got {base.shape}")
+        r = self.resolution + 1
+        linear = base[:, 0] + r * (base[:, 1] + r * base[:, 2])
+        strides = np.array(
+            [i * 1 + j * r + k * r * r for i in (0, 1) for j in (0, 1) for k in (0, 1)],
+            dtype=np.int64,
+        )
+        return ((linear[:, None] + strides[None, :]) % table_size).astype(np.int64)
 
 
 # Bin edges used in Fig. 6 of the paper (index distance between two
@@ -235,7 +291,33 @@ def average_row_requests_per_cube(
     if row_bytes <= 0 or entry_bytes <= 0:
         raise ValueError("row_bytes and entry_bytes must be positive")
     entries_per_row = max(1, row_bytes // entry_bytes)
+    base = np.asarray(base_coords, dtype=np.int64)
+    if base.shape[0] == 0:
+        return 0.0
+    idx = hash_fn.corner_hashes(base, table_size)
+    rows = np.sort(idx // entries_per_row, axis=1)
+    distinct = 1 + np.count_nonzero(np.diff(rows, axis=1), axis=1)
+    return float(distinct.mean())
+
+
+def average_row_requests_per_cube_reference(
+    hash_fn: HashFunction,
+    base_coords: np.ndarray,
+    table_size: int,
+    row_bytes: int = 1024,
+    entry_bytes: int = 4,
+) -> float:
+    """Per-cube ``np.unique`` loop oracle for :func:`average_row_requests_per_cube`.
+
+    Kept as the reference implementation the vectorized per-axis-sort version
+    is tested against; do not use on paper-scale inputs.
+    """
+    if row_bytes <= 0 or entry_bytes <= 0:
+        raise ValueError("row_bytes and entry_bytes must be positive")
+    entries_per_row = max(1, row_bytes // entry_bytes)
     verts = cube_vertices(base_coords)
+    if verts.shape[0] == 0:
+        return 0.0
     idx = hash_fn(verts.reshape(-1, 3), table_size).reshape(verts.shape[0], 8)
     rows = idx // entries_per_row
     unique_counts = np.array([len(np.unique(r)) for r in rows], dtype=np.float64)

@@ -25,6 +25,7 @@ __all__ = [
     "morton_encode_3d",
     "morton_decode_3d",
     "morton_hash",
+    "morton_corner_codes",
 ]
 
 # Maximum number of bits per coordinate that survive the 64-bit interleave.
@@ -102,6 +103,48 @@ def morton_decode_3d(codes: np.ndarray | int) -> tuple[np.ndarray, np.ndarray, n
     return x0, x1, x2
 
 
+# Per-axis bit masks of the 3D interleave: axis a owns bits {3*i + a}.
+_AXIS_MASKS = tuple(np.uint64(0x1249249249249249 << a) for a in range(3))
+_AXIS_UNITS = tuple(np.uint64(1 << a) for a in range(3))
+
+
+def morton_corner_codes(base_codes: np.ndarray) -> np.ndarray:
+    """Morton codes of all 8 cube corners from the base (lower-corner) codes.
+
+    Uses the classic masked-increment trick: to add 1 to one coordinate of an
+    interleaved code, flood the other axes' bit positions with ones so the
+    carry propagates across them, add the axis unit, and mask the axis bits
+    back out.  This turns 8 full bit-interleaves per cube into one interleave
+    plus a handful of word-wide operations, and produces exactly the codes of
+    ``morton_encode_3d`` applied to ``base + offset`` (including the 21-bit
+    wraparound at the coordinate limit).
+
+    Parameters
+    ----------
+    base_codes:
+        ``uint64`` array of shape ``(N,)`` with the Morton codes of the cube
+        base vertices (from :func:`morton_encode_3d`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of shape ``(N, 8)``; corner ``m`` corresponds to the
+        offset ``(m >> 2 & 1, m >> 1 & 1, m & 1)`` on axes ``(x0, x1, x2)``,
+        matching :func:`repro.core.hashing.cube_vertex_offsets`.
+    """
+    c = np.asarray(base_codes, dtype=np.uint64)
+    parts = []  # per axis: (bits unchanged, bits incremented)
+    for mask, unit in zip(_AXIS_MASKS, _AXIS_UNITS):
+        keep = c & mask
+        bumped = ((c | ~mask) + unit) & mask
+        parts.append((keep, bumped))
+    out = np.empty(c.shape + (8,), dtype=np.uint64)
+    for m in range(8):
+        i, j, k = (m >> 2) & 1, (m >> 1) & 1, m & 1
+        out[..., m] = parts[0][i] | parts[1][j] | parts[2][k]
+    return out
+
+
 def morton_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
     """Locality-sensitive hash of integer 3D vertices (paper Eq. (2)).
 
@@ -117,11 +160,29 @@ def morton_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
     -------
     numpy.ndarray
         ``int64`` array of shape ``(...,)`` with indices in ``[0, T)``.
+
+    Raises
+    ------
+    ValueError
+        If any coordinate is negative.  A negative coordinate would silently
+        wrap to 21 bits of garbage (e.g. ``-1`` -> ``0x1FFFFF``); positive
+        overflow keeps the documented hardware-style masking of
+        :func:`separate_by_two`.
     """
     if table_size <= 0:
         raise ValueError(f"table_size must be positive, got {table_size}")
     coords = np.asarray(coords)
     if coords.shape[-1] != 3:
         raise ValueError(f"coords must have a trailing dimension of 3, got shape {coords.shape}")
+    if np.issubdtype(coords.dtype, np.signedinteger) or np.issubdtype(coords.dtype, np.floating):
+        if coords.size and np.any(coords < 0):
+            raise ValueError("morton_hash requires non-negative coordinates")
     codes = morton_encode_3d(coords[..., 0], coords[..., 1], coords[..., 2])
+    return _mod_table(codes, table_size)
+
+
+def _mod_table(codes: np.ndarray, table_size: int) -> np.ndarray:
+    """``codes % table_size`` as int64, via a mask when ``T`` is a power of two."""
+    if table_size & (table_size - 1) == 0:
+        return (codes & np.uint64(table_size - 1)).astype(np.int64)
     return (codes % np.uint64(table_size)).astype(np.int64)

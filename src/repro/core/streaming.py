@@ -29,6 +29,7 @@ __all__ = [
     "points_sharing_same_cube",
     "register_hit_rate",
     "memory_requests_for_stream",
+    "memory_requests_for_stream_reference",
     "effective_bandwidth_improvement",
     "LocalityReport",
 ]
@@ -102,6 +103,46 @@ def register_hit_rate(points: np.ndarray, resolution: int, order: np.ndarray | N
     return float(hits / (cube_ids.size - 1))
 
 
+def _stream_bases_and_cubes(
+    points: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    order: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point cube base vertices ``(N, 3)`` and cube ids ``(N,)`` in stream order."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    if order is not None:
+        pts = pts[order]
+    res = grid_config.resolutions[level]
+    scaled = np.clip(pts, 0.0, 1.0) * res
+    base = np.clip(np.floor(scaled).astype(np.int64), 0, res - 1)
+    cube_ids = base[:, 0] + res * (base[:, 1] + res * base[:, 2])
+    return base, cube_ids
+
+
+def _rows_for_bases(
+    base: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    hash_fn: HashFunction,
+    row_bytes: int,
+    entry_bytes: int,
+) -> np.ndarray:
+    """DRAM row id of each of the 8 corner lookups per cube base, shape (N, 8)."""
+    res = grid_config.resolutions[level]
+    table_entries = grid_config.level_table_entries(level)
+    entries_per_row = max(1, row_bytes // entry_bytes)
+    if grid_config.level_uses_hash(level):
+        idx = hash_fn.corner_hashes(base, table_entries)
+    else:
+        from .hashing import DenseGridIndexer
+
+        idx = DenseGridIndexer(res).corner_hashes(base, table_entries)
+    if entries_per_row & (entries_per_row - 1) == 0:
+        return idx >> (int(entries_per_row).bit_length() - 1)
+    return idx // entries_per_row
+
+
 def memory_requests_for_stream(
     points: np.ndarray,
     level: int,
@@ -119,18 +160,60 @@ def memory_requests_for_stream(
     row-buffer-sized r0 register of the microarchitecture).  Points whose
     cube is identical to the previous point's cube are register hits and
     need no request at all.
+
+    Vectorized as run-length/row-set accounting: only the first point of each
+    same-cube run is charged (so only run starts are even hashed — register
+    hits never reach memory), and a run start's cost is the number of
+    distinct rows it touches that the previous charged point did not.
+    Equivalent to :func:`memory_requests_for_stream_reference` (the retained
+    loop oracle).
     """
-    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
-    if order is not None:
-        pts = pts[order]
+    base, cube_ids = _stream_bases_and_cubes(points, level, grid_config, order)
+    if cube_ids.size == 0:
+        return 0
+    # Keep only the first point of every run of identical consecutive cubes;
+    # the rest are register hits and issue no request (and need no hashing).
+    keep = np.ones(cube_ids.size, dtype=bool)
+    keep[1:] = np.diff(cube_ids) != 0
+    rows = _rows_for_bases(base[keep], level, grid_config, hash_fn, row_bytes, entry_bytes)
+    kept = np.sort(rows, axis=1)  # (M, 8), sorted per point
+    # First occurrence of each distinct row within a point's 8 lookups.
+    first = np.ones(kept.shape, dtype=bool)
+    first[:, 1:] = np.diff(kept, axis=1) != 0
+    requests = int(first[0].sum())
+    if kept.shape[0] > 1:
+        # Rows of point i already held from point i-1: an 8-way membership
+        # test, accumulated one previous-corner column at a time to avoid
+        # materializing the full (M, 8, 8) comparison cube.
+        cur, prev = kept[1:], kept[:-1]
+        held = cur == prev[:, :1]
+        for k in range(1, 8):
+            held |= cur == prev[:, k : k + 1]
+        requests += int((first[1:] & ~held).sum())
+    return requests
+
+
+def memory_requests_for_stream_reference(
+    points: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    hash_fn: HashFunction,
+    order: np.ndarray | None = None,
+    row_bytes: int = 1024,
+    entry_bytes: int = 4,
+) -> int:
+    """Per-point loop oracle for :func:`memory_requests_for_stream`.
+
+    Kept as the reference implementation the vectorized path is tested
+    against; do not use on paper-scale inputs.  Hashes the expanded corner
+    vertices through the hash function's plain ``__call__`` so it stays
+    independent of the incremental ``corner_hashes`` specializations used by
+    the fast path.
+    """
+    base, cube_ids = _stream_bases_and_cubes(points, level, grid_config, order)
     res = grid_config.resolutions[level]
     table_entries = grid_config.level_table_entries(level)
     entries_per_row = max(1, row_bytes // entry_bytes)
-
-    scaled = np.clip(pts, 0.0, 1.0) * res
-    base = np.clip(np.floor(scaled).astype(np.int64), 0, res - 1)
-    cube_ids = base[:, 0] + res * (base[:, 1] + res * base[:, 2])
-
     offsets = np.array([[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)], dtype=np.int64)
     corners = base[:, None, :] + offsets[None, :, :]
     if grid_config.level_uses_hash(level):
@@ -140,7 +223,6 @@ def memory_requests_for_stream(
 
         idx = DenseGridIndexer(res)(corners.reshape(-1, 3), table_entries).reshape(-1, 8)
     rows = idx // entries_per_row
-
     requests = 0
     previous_rows: set[int] = set()
     previous_cube = None

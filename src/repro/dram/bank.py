@@ -17,13 +17,20 @@ __all__ = ["AccessResult", "BankState", "Bank"]
 
 @dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one row access issued to a bank."""
+    """Outcome of one row access issued to a bank.
+
+    ``start_cycle`` is the cycle at which the bank actually began the access
+    (and, on a row miss, issued the ACT) — ``max(issue cycle, bank free
+    cycle)``; activation-rate windows (tRRD/tFAW) must anchor on it, not on
+    the issue cycle.
+    """
 
     ready_cycle: int
     latency: int
     row_hit: bool
     bank_conflict: bool
     subarray: int
+    start_cycle: int = 0
 
 
 @dataclass
@@ -52,14 +59,14 @@ class Bank:
         self.state = BankState()
 
     # ----------------------------------------------------------- internals
-    def _row_cycle_latencies(self, row_hit: bool, is_write: bool) -> int:
+    def _row_cycle_latencies(self, row_hit: bool, is_write: bool, precharge_needed: bool = True) -> int:
         t = self.spec.timing
         if row_hit:
             # Column access straight out of the open row buffer.
             latency = t.tCL + t.tCCD if not is_write else t.tWR + t.tCCD
         else:
-            # Precharge (if a different row was open) + activate + column access.
-            latency = t.tRP + t.tRCD + (t.tCL if not is_write else t.tWR)
+            # Precharge (only if a different row was open) + activate + column access.
+            latency = (t.tRP if precharge_needed else 0) + t.tRCD + (t.tCL if not is_write else t.tWR)
         return latency
 
     # ----------------------------------------------------------------- API
@@ -81,7 +88,9 @@ class Bank:
         waited = start_cycle > cycle
         bank_conflict = waited and not row_hit
 
-        latency = self._row_cycle_latencies(row_hit, is_write)
+        # A first access to an idle subarray has no open row to precharge.
+        precharge_needed = not row_hit and open_row is not None
+        latency = self._row_cycle_latencies(row_hit, is_write, precharge_needed)
         ready = start_cycle + latency
 
         state.open_rows[subarray] = row
@@ -97,7 +106,7 @@ class Bank:
             state.writes += 1
         else:
             state.reads += 1
-        return AccessResult(ready, latency, row_hit, bank_conflict, subarray)
+        return AccessResult(ready, latency, row_hit, bank_conflict, subarray, start_cycle)
 
     def reset(self) -> None:
         """Clear all open rows and statistics."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .address import AddressMapper
 from .bank import Bank
 from .spec import DRAMSpec
@@ -70,28 +72,29 @@ class ChannelController:
         if len(self._recent_activations) > 8:
             self._recent_activations = self._recent_activations[-8:]
 
-    # ----------------------------------------------------------------- API
-    def service(self, request: MemoryRequest) -> int:
-        """Service one request; returns the cycle at which its data is ready."""
+    def _service_decoded(
+        self, bank_idx: int, subarray: int, row: int, is_write: bool, arrival_cycle: int, size_bytes: int
+    ) -> int:
+        """Service one already-decoded request; returns its data-ready cycle."""
         org = self.spec.organization
-        channel, _, bank_idx, subarray, row, _ = (
-            int(v[0]) for v in self.mapper.decode_array([request.address])
-        )
         bank = self.banks[bank_idx % len(self.banks)]
 
-        issue_cycle = request.arrival_cycle
+        issue_cycle = arrival_cycle
         # Activation-rate limits only matter when the access misses the row buffer.
         open_row = bank.state.open_rows.get(subarray % bank.num_subarrays)
         will_activate = open_row != row
         if will_activate:
             issue_cycle = self._activation_constraint(issue_cycle)
-        result = bank.access(row, subarray, issue_cycle, is_write=request.request_type is RequestType.WRITE)
+        result = bank.access(row, subarray, issue_cycle, is_write=is_write)
         if will_activate:
-            self._note_activation(max(issue_cycle, request.arrival_cycle))
+            # Anchor the tRRD/tFAW window on the cycle the ACT actually issued:
+            # a busy bank delays the ACT to its next free cycle, not the issue
+            # cycle the controller asked for.
+            self._note_activation(result.start_cycle)
 
         stats = self.stats
         stats.requests += 1
-        if request.request_type is RequestType.WRITE:
+        if is_write:
             stats.writes += 1
         else:
             stats.reads += 1
@@ -102,16 +105,81 @@ class ChannelController:
             stats.activations += 1
         if result.bank_conflict:
             stats.bank_conflicts += 1
-        stats.bytes_transferred += min(request.size_bytes, org.row_buffer_bytes)
+        stats.bytes_transferred += min(size_bytes, org.row_buffer_bytes)
         stats.busy_cycles += result.latency
         stats.last_ready_cycle = max(stats.last_ready_cycle, result.ready_cycle)
         return result.ready_cycle
 
+    # ----------------------------------------------------------------- API
+    def service(self, request: MemoryRequest) -> int:
+        """Service one request; returns the cycle at which its data is ready."""
+        _, _, bank_idx, subarray, row, _ = (
+            int(v[0]) for v in self.mapper.decode_array([request.address])
+        )
+        return self._service_decoded(
+            bank_idx,
+            subarray,
+            row,
+            request.request_type is RequestType.WRITE,
+            request.arrival_cycle,
+            request.size_bytes,
+        )
+
     def service_all(self, requests: list[MemoryRequest]) -> int:
         """Service a request list in order; returns the completion cycle."""
+        if not requests:
+            return 0
+        addresses = np.array([request.address for request in requests], dtype=np.int64)
+        _, _, banks, subarrays, rows, _ = self.mapper.decode_array(addresses)
         finish = 0
-        for request in requests:
-            finish = max(finish, self.service(request))
+        for request, bank_idx, subarray, row in zip(
+            requests, banks.tolist(), subarrays.tolist(), rows.tolist()
+        ):
+            ready = self._service_decoded(
+                bank_idx,
+                subarray,
+                row,
+                request.request_type is RequestType.WRITE,
+                request.arrival_cycle,
+                request.size_bytes,
+            )
+            finish = max(finish, ready)
+        return finish
+
+    def service_batch(
+        self,
+        addresses: np.ndarray,
+        request_type: RequestType = RequestType.READ,
+        size_bytes: int = 32,
+        arrival_cycles: np.ndarray | None = None,
+    ) -> int:
+        """Service a flat address array in order with one vectorized decode.
+
+        Equivalent to wrapping every address in a :class:`MemoryRequest` and
+        calling :meth:`service` per request, but all addresses are decoded in
+        a single :meth:`AddressMapper.decode_array` call instead of one
+        6-array decode per request.  Returns the completion cycle.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        if addresses.size == 0:
+            return 0
+        if np.any(addresses < 0):
+            raise ValueError("addresses must be non-negative")
+        _, _, banks, subarrays, rows, _ = self.mapper.decode_array(addresses)
+        is_write = request_type is RequestType.WRITE
+        if arrival_cycles is None:
+            arrivals = [0] * addresses.size
+        else:
+            arrival_array = np.asarray(arrival_cycles, dtype=np.int64).ravel()
+            if arrival_array.shape != addresses.shape:
+                raise ValueError("arrival_cycles must match addresses in length")
+            arrivals = arrival_array.tolist()
+        finish = 0
+        for bank_idx, subarray, row, arrival in zip(
+            banks.tolist(), subarrays.tolist(), rows.tolist(), arrivals
+        ):
+            ready = self._service_decoded(bank_idx, subarray, row, is_write, arrival, size_bytes)
+            finish = max(finish, ready)
         return finish
 
     def reset(self) -> None:

@@ -89,7 +89,7 @@ def render_rays(
         raise ValueError(f"t_values must broadcast to {sigma.shape}, got {t_values.shape}")
 
     deltas = np.diff(t_values, axis=-1)
-    # The last segment extends with the mean spacing so every sample has a width.
+    # The last segment duplicates the last spacing so every sample has a width.
     last = deltas[..., -1:] if deltas.shape[-1] > 0 else np.full(sigma[..., :1].shape, 1e10)
     deltas = np.concatenate([deltas, last], axis=-1)
 
@@ -158,6 +158,7 @@ def render_rays_backward(
         t_values = np.broadcast_to(t_values, sigma.shape)
 
     deltas = np.diff(t_values, axis=-1)
+    # Same segment widths as the forward pass: the last spacing is duplicated.
     last = deltas[..., -1:] if deltas.shape[-1] > 0 else np.full(sigma[..., :1].shape, 1e10)
     deltas = np.concatenate([deltas, last], axis=-1)
 

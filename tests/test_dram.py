@@ -112,10 +112,35 @@ def test_bank_row_hit_vs_miss_latency():
     hit = bank.access(row=10, subarray=0, cycle=miss.ready_cycle)
     other = bank.access(row=11, subarray=0, cycle=hit.ready_cycle)
     assert not miss.row_hit and hit.row_hit and not other.row_hit
-    assert hit.latency < miss.latency
+    # Switching rows costs the precharge on top of activate + column access.
+    assert hit.latency < other.latency
     assert bank.state.row_hits == 1
     assert bank.state.row_misses == 2
     assert bank.row_hit_rate() == pytest.approx(1 / 3)
+
+
+def test_bank_first_access_to_idle_subarray_skips_precharge():
+    """Regression: an idle subarray has no open row, so no tRP is charged."""
+    t = LPDDR4_2400.timing
+    bank = Bank(LPDDR4_2400)
+    first = bank.access(row=10, subarray=0, cycle=0)
+    assert not first.row_hit
+    assert first.latency == t.tRCD + t.tCL  # no tRP on an idle subarray
+    switch = bank.access(row=11, subarray=0, cycle=first.ready_cycle)
+    assert switch.latency == t.tRP + t.tRCD + t.tCL  # row 10 must be precharged
+    # A write to a second idle subarray also skips the precharge.
+    first_write = bank.access(row=3, subarray=1, cycle=0, is_write=True)
+    assert first_write.latency == t.tRCD + t.tWR
+
+
+def test_bank_access_reports_actual_start_cycle():
+    bank = Bank(LPDDR4_2400)
+    first = bank.access(row=1, subarray=0, cycle=0)
+    assert first.start_cycle == 0
+    # Bank is busy until first.ready_cycle: the next access starts there.
+    delayed = bank.access(row=2, subarray=0, cycle=0)
+    assert delayed.start_cycle == first.ready_cycle
+    assert delayed.ready_cycle == delayed.start_cycle + delayed.latency
 
 
 def test_bank_conflict_detection_and_reset():
@@ -162,6 +187,38 @@ def test_controller_write_requests_tracked():
     assert controller.stats.writes == 1 and controller.stats.reads == 0
 
 
+def test_controller_anchors_activation_window_on_actual_start():
+    """Regression: when the bank is busy, the ACT happens at the bank's next
+    free cycle, and tRRD must be measured from there, not the issue cycle."""
+    controller = ChannelController(LPDDR4_2400)
+    mapper = controller.mapper
+    t = LPDDR4_2400.timing
+    # Two activations to different rows of the same bank, both arriving at 0.
+    first = controller.service(MemoryRequest(mapper.encode(channel=0, bank=0, row=0)))
+    assert controller._last_activation_cycle == 0
+    controller.service(MemoryRequest(mapper.encode(channel=0, bank=0, row=100)))
+    # The second ACT could only issue once the bank freed up at `first`,
+    # which is later than the tRRD-constrained issue cycle.
+    assert first > t.tRRD
+    assert controller._last_activation_cycle == first
+
+
+def test_controller_service_batch_matches_per_request_service():
+    rng = np.random.default_rng(3)
+    addrs = (rng.integers(0, 2**24, size=500) * 4).astype(np.int64)
+    one_by_one = ChannelController(LPDDR4_2400)
+    finish_ref = one_by_one.service_all([MemoryRequest(int(a)) for a in addrs])
+    batched = ChannelController(LPDDR4_2400)
+    finish_batch = batched.service_batch(addrs)
+    assert finish_batch == finish_ref
+    assert batched.stats == one_by_one.stats
+    assert batched.service_batch(np.array([], dtype=np.int64)) == 0
+    with pytest.raises(ValueError):
+        batched.service_batch(np.array([-1]))
+    with pytest.raises(ValueError):
+        batched.service_batch(addrs, arrival_cycles=np.zeros(3, dtype=np.int64))
+
+
 # ------------------------------------------------------------------- system
 def test_dram_system_sequential_faster_than_random():
     """Streaming rows of one bank in order beats visiting them shuffled."""
@@ -195,6 +252,18 @@ def test_dram_system_empty_trace():
     result = DRAMSystem().service_requests([])
     assert result.total_cycles == 0
     assert result.total_requests == 0
+    batch = DRAMSystem().service_batch(np.array([], dtype=np.int64))
+    assert batch.total_cycles == 0 and batch.total_requests == 0
+
+
+def test_dram_system_service_batch_matches_object_path():
+    rng = np.random.default_rng(11)
+    addrs = (rng.integers(0, 2**27, size=2000) * 4).astype(np.int64)
+    via_requests = DRAMSystem().service_requests([MemoryRequest(int(a)) for a in addrs])
+    via_batch = DRAMSystem().service_batch(addrs)
+    assert via_batch == via_requests
+    with pytest.raises(ValueError):
+        DRAMSystem().service_batch(np.array([-4]))
 
 
 def test_energy_model_validation():

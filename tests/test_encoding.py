@@ -105,6 +105,51 @@ def test_encoding_with_morton_hash_matches_interface(small_grid_config, rng):
     assert feats.shape == (5, config.output_dim)
 
 
+def test_fused_forward_matches_per_level_reference(small_grid_config, rng):
+    """The fused multi-level forward must be bit-identical to the level loop."""
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    for e in enc.embeddings:
+        e[...] = rng.normal(0, 1, e.shape).astype(np.float32)
+    pos = rng.uniform(-0.1, 1.1, (200, 3))  # includes out-of-range positions
+    fused = enc.forward(pos)
+    reference = enc.forward_reference(pos)
+    np.testing.assert_array_equal(fused, reference)
+
+
+def test_multilevel_vertex_indices_match_per_level(small_grid_config, rng):
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    pos = rng.uniform(0, 1, (64, 3))
+    idx_all, w_all = enc.multilevel_vertex_indices(pos)
+    assert idx_all.shape == (small_grid_config.num_levels, 64, 8)
+    assert w_all.shape == (small_grid_config.num_levels, 64, 8)
+    for level in range(small_grid_config.num_levels):
+        idx, w, _ = enc.vertex_indices(pos, level)
+        np.testing.assert_array_equal(idx_all[level], idx)
+        np.testing.assert_array_equal(w_all[level], w)
+
+
+def test_bincount_backward_matches_scatter_reference(small_grid_config, rng):
+    """Segment-sum backward must match the np.add.at oracle within float tolerance."""
+    enc = HashGridEncoding(small_grid_config, rng=rng)
+    pos = rng.uniform(0, 1, (300, 3))
+    upstream = rng.normal(size=(300, small_grid_config.output_dim)).astype(np.float32)
+    enc.forward(pos)
+    enc.zero_grad()
+    enc.backward(upstream)
+    fast = [g.copy() for g in enc.grads]
+    enc.forward(pos)
+    enc.zero_grad()
+    enc.backward_reference(upstream)
+    for fast_grad, ref_grad in zip(fast, enc.grads):
+        np.testing.assert_allclose(fast_grad, ref_grad, atol=1e-5)
+
+
+def test_backward_reference_requires_forward(small_grid_config):
+    enc = HashGridEncoding(small_grid_config)
+    with pytest.raises(RuntimeError):
+        enc.backward_reference(np.zeros((1, small_grid_config.output_dim)))
+
+
 def test_vertex_indices_weights_sum_to_one(small_grid_config, rng):
     enc = HashGridEncoding(small_grid_config, rng=rng)
     pos = rng.uniform(0, 1, (50, 3))

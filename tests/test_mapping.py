@@ -120,3 +120,49 @@ def test_count_conflicts_validation(level_indices):
     mapper = HashTableMapper(grid)
     with pytest.raises(ValueError):
         mapper.count_conflicts(15, indices, parallel_points=0)
+    with pytest.raises(ValueError):
+        mapper.count_conflicts_reference(15, indices, parallel_points=0)
+
+
+def test_count_conflicts_vectorized_matches_loop_oracle(level_indices):
+    """The lexsort-segmented counter must equal the retained nested-loop oracle."""
+    grid, indices = level_indices
+    rng = np.random.default_rng(9)
+    random_indices = rng.integers(0, grid.table_size, size=997)  # non-multiple of group size
+    for subarrays in (1, 3, 16):
+        for policy in IntraLevelPolicy:
+            mapper = HashTableMapper(
+                grid,
+                HashTableMappingConfig(subarrays_per_bank=subarrays, intra_level_policy=policy),
+            )
+            for level in (2, 9, 15):
+                for batch in (indices, random_indices):
+                    for parallel_points in (7, 32):
+                        fast = mapper.count_conflicts(level, batch, parallel_points)
+                        slow = mapper.count_conflicts_reference(level, batch, parallel_points)
+                        assert fast == slow
+
+    empty = HashTableMapper(grid).count_conflicts(15, np.array([], dtype=np.int64))
+    assert empty.total_requests == 0 and empty.bank_conflicts == 0
+
+
+def test_row_major_locate_is_injective_for_non_divisible_levels():
+    """Regression: the clamped overflow branch used to alias distinct table
+    rows of a non-divisible level onto the same (subarray, row) slot."""
+    grid = HashGridConfig(num_levels=16)
+    # Level 0 is dense: 17**3 = 4913 entries -> 20 rows, not divisible by 16.
+    mapper = HashTableMapper(
+        grid,
+        HashTableMappingConfig(
+            intra_level_policy=IntraLevelPolicy.ROW_MAJOR, subarrays_per_bank=16
+        ),
+    )
+    level = 0
+    entries_per_row = mapper.config.entries_per_row
+    level_rows = -(-grid.level_table_entries(level) // entries_per_row)
+    assert level_rows % mapper.config.subarrays_per_bank != 0
+    indices = np.arange(level_rows) * entries_per_row  # one index per distinct row
+    _, subarray, row = mapper.locate(level, indices)
+    assert np.all(subarray < mapper.config.subarrays_per_bank)
+    slots = set(zip(subarray.tolist(), row.tolist()))
+    assert len(slots) == level_rows  # distinct linear rows -> distinct slots

@@ -88,6 +88,18 @@ def test_morton_hash_rejects_bad_inputs():
         morton_hash(np.zeros((3, 3)), 0)
 
 
+def test_morton_hash_rejects_negative_coordinates():
+    """Regression: -1 used to silently mask to 0x1FFFFF instead of failing."""
+    with pytest.raises(ValueError):
+        morton_hash(np.array([[-1, 0, 0]]), 16)
+    with pytest.raises(ValueError):
+        morton_hash(np.array([[0, 0, 0], [2, -5, 1]]), 2**19)
+    # Positive overflow keeps the documented hardware-style 21-bit masking.
+    over = morton_hash(np.array([[2**MAX_BITS_PER_COORD, 0, 0]]), 2**19)
+    masked = morton_hash(np.array([[0, 0, 0]]), 2**19)
+    np.testing.assert_array_equal(over, masked)
+
+
 def test_morton_hash_is_deterministic():
     coords = np.array([[1, 2, 3], [4, 5, 6]])
     np.testing.assert_array_equal(morton_hash(coords, 97), morton_hash(coords, 97))

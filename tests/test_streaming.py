@@ -10,6 +10,7 @@ from repro.core.streaming import (
     StreamingOrder,
     effective_bandwidth_improvement,
     memory_requests_for_stream,
+    memory_requests_for_stream_reference,
     point_order,
     points_sharing_same_cube,
     register_hit_rate,
@@ -97,3 +98,31 @@ def test_effective_bandwidth_improvement_matches_paper_shape(ray_points):
 def test_points_sharing_empty_input():
     assert points_sharing_same_cube(np.zeros((0, 3)), 16) == 0.0
     assert register_hit_rate(np.zeros((1, 3)), 16) == 0.0
+
+
+def test_memory_requests_vectorized_matches_loop_oracle(ray_points):
+    """The vectorized run-length/row-set accounting must equal the retained loop."""
+    flat = ray_points.reshape(-1, 3)
+    grid = HashGridConfig(num_levels=8, table_size=2**14, max_resolution=512)
+    orders = [
+        None,
+        point_order(32, 32, StreamingOrder.RANDOM, rng=np.random.default_rng(5)),
+    ]
+    for hash_fn in (OriginalSpatialHash(), MortonLocalityHash()):
+        for level in range(grid.num_levels):
+            for order in orders:
+                fast = memory_requests_for_stream(flat, level, grid, hash_fn, order)
+                slow = memory_requests_for_stream_reference(flat, level, grid, hash_fn, order)
+                assert fast == slow
+
+
+def test_memory_requests_empty_and_single_point():
+    grid = HashGridConfig(num_levels=4, table_size=2**10, max_resolution=64)
+    empty = np.zeros((0, 3))
+    one = np.array([[0.3, 0.4, 0.5]])
+    for level in range(grid.num_levels):
+        assert memory_requests_for_stream(empty, level, grid, MortonLocalityHash()) == 0
+        fast = memory_requests_for_stream(one, level, grid, MortonLocalityHash())
+        slow = memory_requests_for_stream_reference(one, level, grid, MortonLocalityHash())
+        assert fast == slow
+        assert 1 <= fast <= 8
