@@ -113,9 +113,9 @@ def test_memory_requests_for_stream_speedup(paper_grid, paper_points):
     hash_fn = MortonLocalityHash()
     levels = range(paper_grid.num_levels)
     memory_requests_for_stream(paper_points, 0, paper_grid, hash_fn)  # warm
-    vec_s, vec = _time(lambda: [memory_requests_for_stream(paper_points, l, paper_grid, hash_fn) for l in levels])
+    vec_s, vec = _time(lambda: [memory_requests_for_stream(paper_points, lvl, paper_grid, hash_fn) for lvl in levels])
     ref_s, ref = _time(
-        lambda: [memory_requests_for_stream_reference(paper_points, l, paper_grid, hash_fn) for l in levels],
+        lambda: [memory_requests_for_stream_reference(paper_points, lvl, paper_grid, hash_fn) for lvl in levels],
         repeats=1,
     )
     assert vec == ref

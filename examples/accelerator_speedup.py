@@ -3,7 +3,13 @@
 Builds the co-designed Instant-NeRF system — Morton locality hash + ray-first
 streaming feeding the per-bank NMP accelerator with the heterogeneous
 inter-bank parallelism plan — and compares its per-scene training time and
-energy against the TX2 and XNX edge GPUs on all eight scenes.
+energy against the TX2 and XNX edge GPUs on all eight scenes.  Runs through
+the shared :class:`SimulationContext`, so the locality statistics feeding the
+accelerator come from the same cached traces the locality experiments use.
+Also available from the CLI:
+
+    python -m repro run tab03 --dram lpddr4-2400
+    python -m repro run fig11 --scene all
 
 Usage:
     python examples/accelerator_speedup.py
@@ -12,22 +18,25 @@ Usage:
 from __future__ import annotations
 
 from repro.accel import BankMicroarchitecture
-from repro.core.codesign import AlgorithmConfig, InstantNeRFSystem
-from repro.experiments import run_fig11, run_tab03
+from repro.core.codesign import AlgorithmConfig
 from repro.gpu import TX2, XNX
+from repro.pipeline import SimulationContext, run_suite
 
 
 def main() -> None:
+    context = SimulationContext()
+    results = run_suite(["tab03", "fig11"], context=context)
+
     print("== Accelerator configuration, area and power (Table III / Sec. V-C) ==")
-    print(run_tab03().to_text())
+    print(results["tab03"].to_text())
 
     micro = BankMicroarchitecture()
     print(f"\nPer-bank microarchitecture: {micro.area_mm2():.2f} mm^2, {micro.power_mw():.0f} mW "
           f"(paper: {micro.PAPER_AREA_MM2} mm^2, {micro.PAPER_POWER_MW} mW)")
 
     print("\n== Measured algorithm locality feeding the accelerator ==")
-    system = InstantNeRFSystem(AlgorithmConfig.instant_nerf())
-    baseline = InstantNeRFSystem(AlgorithmConfig.ingp())
+    system = context.system(AlgorithmConfig.instant_nerf())
+    baseline = context.system(AlgorithmConfig.ingp())
     print(f"Instant-NeRF: {system.locality.row_requests_per_cube:.2f} row requests/cube, "
           f"{system.locality.cube_sharing_run_length:.2f} points sharing a cube")
     print(f"iNGP baseline: {baseline.locality.row_requests_per_cube:.2f} row requests/cube, "
@@ -36,7 +45,7 @@ def main() -> None:
           f"{system.algorithm_speedup_on_gpu(baseline):.2f}x (paper: 1.15x)")
 
     print("\n== Per-scene speedup and energy efficiency (Fig. 11) ==")
-    print(run_fig11(system).to_text())
+    print(results["fig11"].to_text())
 
     print("\n== Headline ==")
     lego_seconds = system.scene_training_seconds("lego")

@@ -1,6 +1,7 @@
 """Analyse the Instant-NeRF algorithm's memory locality (Sec. III, Fig. 6/7/9).
 
-Walks through the three locality mechanisms:
+Walks through the three locality mechanisms on a *real* training batch of the
+"lego" scene (camera rays with density-guided sampling bounds):
 
 1. the Morton locality-sensitive hash vs iNGP's prime-XOR hash (Fig. 6),
 2. the ray-first point streaming order and the resulting effective memory
@@ -8,45 +9,55 @@ Walks through the three locality mechanisms:
 3. the residual bank conflicts and how subarray parallelism plus the
    intra-/inter-level hash-table mapping absorb them (Fig. 9).
 
+All three run through one shared :class:`SimulationContext`: the suite
+scheduler runs the bank-conflict analysis first so Fig. 7 reuses its
+corner-index streams.  The same experiments are available from the CLI, e.g.
+
+    python -m repro run fig07 --scene lego --dram ddr4
+    python -m repro sweep fig07 --grid scene=lego,chair --grid hash=morton,original --workers 4
+
 Usage:
-    python examples/hash_locality_analysis.py
+    python examples/hash_locality_analysis.py [scene]
 """
 
 from __future__ import annotations
 
+import sys
+
 from repro.core.mapping import HashTableMapper, HashTableMappingConfig
-from repro.experiments import format_series, run_fig06, run_fig07, run_fig09
+from repro.experiments import format_series
 from repro.nerf.encoding import HashGridConfig
-from repro.workloads.traces import TraceConfig
+from repro.pipeline import SimulationContext, run_suite
 
 
-def main() -> None:
+def main(scene: str = "lego") -> None:
+    context = SimulationContext()
+    overrides = {
+        "fig07": {"scene": scene},
+        "fig09": {"scene": scene, "subarrays": "1,4,16,64"},
+    }
+    results = run_suite(["fig06", "fig07", "fig09"], context=context, overrides=overrides)
+
     print("== Hash-index locality (Fig. 6) ==")
-    fig6 = run_fig06()
-    print(fig6.to_text())
+    print(results["fig06"].to_text())
 
-    print("\n== Cube sharing and effective bandwidth (Fig. 7) ==")
-    fig7 = run_fig07()
-    print(fig7.to_text())
-    print(format_series("per-level improvement", fig7.column("effective_bw_improvement")))
+    print(f"\n== Cube sharing and effective bandwidth on '{scene}' (Fig. 7) ==")
+    print(results["fig07"].to_text())
+    print(format_series("per-level improvement", results["fig07"].column("effective_bw_improvement")))
 
-    print("\n== Bank conflicts vs subarray parallelism (Fig. 9) ==")
-    grid = HashGridConfig(num_levels=16)
-    fig9 = run_fig09(
-        subarray_counts=(1, 4, 16, 64),
-        grid_config=grid,
-        trace_config=TraceConfig(num_rays=32, points_per_ray=48, seed=1),
-    )
-    print(fig9.to_text())
+    print(f"\n== Bank conflicts vs subarray parallelism on '{scene}' (Fig. 9) ==")
+    print(results["fig09"].to_text())
 
     print("\n== Inter-level grouping (Sec. IV-B) ==")
+    grid = HashGridConfig(num_levels=16)
     mapper = HashTableMapper(grid, HashTableMappingConfig())
     for group_index, group in enumerate(mapper.level_groups()):
         bank = mapper.bank_of_level(group[0])
         print(f"  group {group_index}: levels {group} -> bank {bank}")
     print("Coarse, lightly-conflicted levels share banks; each fine level gets its own bank,")
     print("balancing per-bank processing time for the HT/HT_b steps.")
+    print(f"(shared context reused {context.stats.hits} of {context.stats.total} artifact requests)")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "lego")

@@ -1,9 +1,12 @@
 """Reproduce the paper's GPU profiling study (Sec. II-B, Fig. 1 and Fig. 4).
 
-Prints the modelled per-scene iNGP training time and per-step breakdown for
-the edge GPUs (Jetson Xavier NX, Jetson TX2) and the cloud GPU (RTX 2080 Ti),
-followed by the per-kernel DRAM/compute utilization that motivates moving the
-hash-table and MLP steps into the memory.
+Runs the registered ``tab01``/``tab02``/``fig01``/``fig04`` experiments
+through one shared :class:`SimulationContext` (Fig. 4 reuses the kernel
+profiles Fig. 1 computes), then prints the diagnosis the paper draws from
+them.  The same tables are available from the command line:
+
+    python -m repro run fig01 --gpus 2080Ti,XNX,TX2
+    python -m repro run fig04 --gpu XNX
 
 Usage:
     python examples/profile_edge_gpu.py
@@ -11,24 +14,22 @@ Usage:
 
 from __future__ import annotations
 
-from repro.experiments import format_table, run_fig01, run_fig04, run_tab01, run_tab02
-from repro.gpu import GPUProfiler, RTX_2080TI, TX2, XNX
+from repro.gpu import GPUProfiler, XNX
+from repro.pipeline import SimulationContext, run_suite
 
 
 def main() -> None:
-    print("== Device specifications (Table I) ==")
-    print(run_tab01().to_text())
+    context = SimulationContext()
+    results = run_suite(
+        ["tab01", "tab02", "fig01", "fig04"],
+        context=context,
+        overrides={"fig01": {"gpus": "2080Ti,XNX,TX2"}},
+    )
+    for name in ("tab01", "tab02", "fig01", "fig04"):
+        print(results[name].to_text())
+        print()
 
-    print("\n== iNGP per-step working-set sizes (Table II) ==")
-    print(run_tab02().to_text())
-
-    print("\n== Training time and breakdown (Fig. 1) ==")
-    print(run_fig01(gpus=(RTX_2080TI, XNX, TX2)).to_text())
-
-    print("\n== Bottleneck-kernel utilization on XNX (Fig. 4) ==")
-    print(run_fig04(XNX).to_text())
-
-    print("\n== Diagnosis ==")
+    print("== Diagnosis ==")
     profiler = GPUProfiler.for_gpu(XNX)
     scene = profiler.profile_scene()
     bottleneck_steps = ", ".join(step.value for step in profiler.bottleneck_steps())
@@ -36,6 +37,7 @@ def main() -> None:
     print(f"They cover {scene.bottleneck_fraction() * 100:.1f}% of training time "
           f"(paper: 76.4%), and every hash-table kernel is DRAM-bandwidth bound —")
     print("the motivation for the near-memory-processing accelerator of Sec. IV.")
+    print(f"(shared context reused {context.stats.hits} of {context.stats.total} artifact requests)")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,14 @@
 Runs the full Fig. 2 training pipeline (pixel batches, ray sampling, hash-grid
 radiance field, volume rendering, backprop, Adam) on the "lego" stand-in
 scene with the Instant-NeRF Morton locality hash, then reports test PSNR.
+The rendered dataset comes from a :class:`SimulationContext`, the same shared
+store the experiment registry uses — re-running against the same context
+(e.g. a PSNR sweep over hash functions) reuses it instead of re-rendering.
+
+The full Table IV benchmark this builds toward is one CLI call:
+
+    python -m repro run tab04 --scenes lego --methods ingp,instant-nerf
+    python -m repro sweep tab04 --grid scenes=lego,chair --grid methods=ingp,instant-nerf --workers 2
 
 Usage:
     python examples/quickstart.py [scene] [iterations]
@@ -15,14 +23,16 @@ import time
 
 from repro.core.hashing import MortonLocalityHash
 from repro.nerf import HashGridConfig, InstantNGPField, Trainer, TrainerConfig
-from repro.scenes import DatasetConfig, load_synthetic_dataset
+from repro.pipeline import SimulationContext
+from repro.scenes import DatasetConfig
 
 
 def main(scene: str = "lego", iterations: int = 200) -> None:
     print(f"== Instant-NeRF quickstart: scene '{scene}', {iterations} iterations ==")
 
     print("Rendering ground-truth images from the procedural scene ...")
-    dataset = load_synthetic_dataset(
+    context = SimulationContext()
+    dataset = context.dataset(
         scene,
         DatasetConfig(image_size=48, num_train_views=10, num_test_views=2, gt_samples_per_ray=96),
     )
@@ -52,6 +62,7 @@ def main(scene: str = "lego", iterations: int = 200) -> None:
     image = trainer.render_image(0)
     print(f"Rendered a {image.shape[0]}x{image.shape[1]} test view "
           f"(mean intensity {image.mean():.3f}); paper-scale training would now continue for 35k iterations.")
+    print("Next: `python -m repro list` shows every registered experiment.")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,26 @@
-"""Setuptools entry point.
+"""Setuptools entry point for the Instant-NeRF NMP reproduction.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments whose setuptools predates PEP 660 wheel-less editable support
-(``pip install -e .`` falls back to the legacy ``setup.py develop`` path).
-All metadata lives in ``pyproject.toml``; this file only forwards to it.
+Installs the ``repro`` package from ``src/`` and registers the ``repro``
+console script, which dispatches to the same CLI as ``python -m repro``
+(``list`` / ``run`` / ``sweep`` / ``report``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-instant-nerf-nmp",
+    version="0.2.0",
+    description=(
+        "Reproduction of the Instant-NeRF near-memory-processing training "
+        "accelerator study (DAC'23), with a config-driven experiment pipeline"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.pipeline.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,6 @@
+"""``python -m repro`` dispatches to the pipeline CLI."""
+
+from .pipeline.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

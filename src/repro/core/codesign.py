@@ -74,11 +74,18 @@ class InstantNeRFSystem:
         grid_config: HashGridConfig | None = None,
         nmp_config: NMPConfig | None = None,
         trace_config: TraceConfig | None = None,
+        context=None,
     ):
+        """``context`` optionally is a :class:`repro.pipeline.context.SimulationContext`
+        (any object with ``batch_points``/``stream_order``/``cube_sharing``/
+        ``requests_per_cube`` works); the locality measurement then reuses
+        the traces and per-level statistics other experiments already built
+        instead of recomputing them."""
         self.algorithm = algorithm or AlgorithmConfig.instant_nerf()
         self.grid = grid_config or HashGridConfig()
         self.workload = INGPWorkloadModel(self.grid)
         self.trace_config = trace_config or TraceConfig(num_rays=128, points_per_ray=32, seed=0)
+        self._context = context
         self.locality = self.measure_locality()
         self.accelerator = NMPAccelerator(
             config=nmp_config, workload=self.workload, locality=self.locality
@@ -93,28 +100,40 @@ class InstantNeRFSystem:
         the cube-sharing run length under the configured streaming order,
         and maps residual conflicts to a stall factor.
         """
-        points = generate_batch_points(self.trace_config)
-        flat = points.reshape(-1, 3)
-        order = point_order(
-            self.trace_config.num_rays,
-            self.trace_config.points_per_ray,
-            self.algorithm.streaming_order,
-            rng=np.random.default_rng(self.trace_config.seed),
-        )
-
-        # Requests per cube at a representative fine (hashed) level.
+        ctx = self._context
         fine_level = self.grid.num_levels - 1
-        resolution = self.grid.resolutions[fine_level]
-        base_coords = np.clip((flat * resolution).astype(np.int64), 0, resolution - 1)
-        requests_per_cube = average_row_requests_per_cube(
-            self.algorithm.hash_fn, base_coords, self.grid.level_table_entries(fine_level)
-        )
+        if ctx is not None:
+            requests_per_cube = ctx.requests_per_cube(
+                self.grid, self.trace_config, self.algorithm.hash_fn, fine_level
+            )
+            run_lengths = [
+                ctx.cube_sharing(
+                    self.trace_config, self.grid.resolutions[lvl], self.algorithm.streaming_order
+                )
+                for lvl in range(self.grid.num_levels)
+            ]
+        else:
+            points = generate_batch_points(self.trace_config)
+            flat = points.reshape(-1, 3)
+            order = point_order(
+                self.trace_config.num_rays,
+                self.trace_config.points_per_ray,
+                self.algorithm.streaming_order,
+                rng=np.random.default_rng(self.trace_config.seed),
+            )
 
-        # Cube sharing averaged over levels (coarse levels share heavily).
-        run_lengths = [
-            points_sharing_same_cube(flat, self.grid.resolutions[lvl], order)
-            for lvl in range(self.grid.num_levels)
-        ]
+            # Requests per cube at a representative fine (hashed) level.
+            resolution = self.grid.resolutions[fine_level]
+            base_coords = np.clip((flat * resolution).astype(np.int64), 0, resolution - 1)
+            requests_per_cube = average_row_requests_per_cube(
+                self.algorithm.hash_fn, base_coords, self.grid.level_table_entries(fine_level)
+            )
+
+            # Cube sharing averaged over levels (coarse levels share heavily).
+            run_lengths = [
+                points_sharing_same_cube(flat, self.grid.resolutions[lvl], order)
+                for lvl in range(self.grid.num_levels)
+            ]
         sharing = float(np.mean(run_lengths))
 
         # Residual bank-conflict stalls: the locality-sensitive hash keeps

@@ -33,6 +33,8 @@ __all__ = [
     "IndexDistanceStats",
     "DISTANCE_BIN_EDGES",
     "DISTANCE_BIN_LABELS",
+    "HASH_FUNCTIONS",
+    "get_hash_function",
 ]
 
 # iNGP's per-dimension hashing primes (the first is 1 so that the x0
@@ -189,6 +191,27 @@ class DenseGridIndexer(HashFunction):
             dtype=np.int64,
         )
         return ((linear[:, None] + strides[None, :]) % table_size).astype(np.int64)
+
+
+#: Hash-function constructors addressable by name from configuration files,
+#: sweep grids and the CLI.  Short names and the instances' own ``name``
+#: attributes are both accepted.
+HASH_FUNCTIONS: dict[str, type[HashFunction]] = {
+    "morton": MortonLocalityHash,
+    "original": OriginalSpatialHash,
+    MortonLocalityHash.name: MortonLocalityHash,
+    OriginalSpatialHash.name: OriginalSpatialHash,
+}
+
+
+def get_hash_function(name: str) -> HashFunction:
+    """Instantiate a registered hash function by name (``morton``/``original``)."""
+    key = name.strip().lower()
+    try:
+        return HASH_FUNCTIONS[key]()
+    except KeyError:
+        known = ", ".join(sorted(HASH_FUNCTIONS))
+        raise KeyError(f"unknown hash function {name!r}; available: {known}") from None
 
 
 # Bin edges used in Fig. 6 of the paper (index distance between two

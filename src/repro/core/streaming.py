@@ -30,6 +30,7 @@ __all__ = [
     "register_hit_rate",
     "memory_requests_for_stream",
     "memory_requests_for_stream_reference",
+    "row_requests_from_corner_indices",
     "effective_bandwidth_improvement",
     "LocalityReport",
 ]
@@ -176,6 +177,13 @@ def memory_requests_for_stream(
     keep = np.ones(cube_ids.size, dtype=bool)
     keep[1:] = np.diff(cube_ids) != 0
     rows = _rows_for_bases(base[keep], level, grid_config, hash_fn, row_bytes, entry_bytes)
+    return _count_row_requests(rows)
+
+
+def _count_row_requests(rows: np.ndarray) -> int:
+    """Row requests for a stream of per-point row ids ``(M, 8)`` (run starts only)."""
+    if rows.size == 0:
+        return 0
     kept = np.sort(rows, axis=1)  # (M, 8), sorted per point
     # First occurrence of each distinct row within a point's 8 lookups.
     first = np.ones(kept.shape, dtype=bool)
@@ -191,6 +199,45 @@ def memory_requests_for_stream(
             held |= cur == prev[:, k : k + 1]
         requests += int((first[1:] & ~held).sum())
     return requests
+
+
+def row_requests_from_corner_indices(
+    points: np.ndarray,
+    corner_indices: np.ndarray,
+    level: int,
+    grid_config: HashGridConfig,
+    order: np.ndarray | None = None,
+    row_bytes: int = 1024,
+    entry_bytes: int = 4,
+) -> int:
+    """:func:`memory_requests_for_stream` from precomputed corner indices.
+
+    ``corner_indices`` is the ``(N, 8)`` table-index array of
+    :func:`repro.workloads.traces.level_lookup_indices` for the *unpermuted*
+    ray-major point layout; ``order`` permutes points exactly as in
+    :func:`memory_requests_for_stream`.  Returns the identical request count
+    without re-hashing — the pipeline's :class:`SimulationContext` uses this
+    to reuse the lookup streams the bank-conflict experiment already built.
+    """
+    _, cube_ids = _stream_bases_and_cubes(points, level, grid_config, order)
+    indices = np.asarray(corner_indices)
+    if indices.ndim != 2 or indices.shape[1] != 8 or indices.shape[0] != cube_ids.size:
+        raise ValueError(
+            f"corner_indices must have shape ({cube_ids.size}, 8), got {indices.shape}"
+        )
+    if order is not None:
+        indices = indices[order]
+    if cube_ids.size == 0:
+        return 0
+    keep = np.ones(cube_ids.size, dtype=bool)
+    keep[1:] = np.diff(cube_ids) != 0
+    entries_per_row = max(1, row_bytes // entry_bytes)
+    kept_indices = indices[keep]
+    if entries_per_row & (entries_per_row - 1) == 0:
+        rows = kept_indices >> (int(entries_per_row).bit_length() - 1)
+    else:
+        rows = kept_indices // entries_per_row
+    return _count_row_requests(rows)
 
 
 def memory_requests_for_stream_reference(

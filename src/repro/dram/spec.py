@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DRAMTiming", "DRAMOrganization", "DRAMSpec", "LPDDR4_2400"]
+__all__ = [
+    "DRAMTiming",
+    "DRAMOrganization",
+    "DRAMSpec",
+    "LPDDR4_2400",
+    "LPDDR4X_4266",
+    "DDR4_3200",
+    "DRAM_SPECS",
+    "get_dram_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -124,3 +133,53 @@ class DRAMSpec:
 
 #: The paper's Table III configuration.
 LPDDR4_2400 = DRAMSpec()
+
+#: A faster LPDDR4X grade: same organization, 2133 MHz clock, slightly larger
+#: cycle counts for the analog-limited timings (absolute latencies shrink).
+LPDDR4X_4266 = DRAMSpec(
+    organization=DRAMOrganization(clock_mhz=2133.0),
+    timing=DRAMTiming(tCL=7, tRCD=7, tRP=10, tRAS=16, tCCD=8, tRRD=4, tFAW=16, tWR=10),
+)
+
+#: A commodity DDR4-3200 DIMM channel: one 64-bit channel, 8 KB rows.  Used
+#: by the sweep engine to contrast the mobile LPDDR4 substrate the paper
+#: assumes against a desktop-class memory; values are modelled, not vendor
+#: datasheet transcriptions.
+DDR4_3200 = DRAMSpec(
+    organization=DRAMOrganization(
+        io_width_bits=64,
+        channel_io_bits=64,
+        num_channels=1,
+        banks_per_chip=16,
+        subarrays_per_bank=32,
+        row_buffer_bytes=8192,
+        prefetch_bits=64,
+        clock_mhz=1600.0,
+    ),
+    timing=DRAMTiming(tCL=22, tRCD=22, tRP=22, tRAS=52, tCCD=8, tRRD=8, tFAW=40, tWR=24),
+)
+
+#: Named specifications addressable from configuration files and the CLI.
+DRAM_SPECS: dict[str, DRAMSpec] = {
+    "lpddr4-2400": LPDDR4_2400,
+    "lpddr4x-4266": LPDDR4X_4266,
+    "ddr4-3200": DDR4_3200,
+}
+
+#: Convenience aliases accepted anywhere a spec name is (e.g. ``--dram ddr4``).
+DRAM_SPEC_ALIASES: dict[str, str] = {
+    "lpddr4": "lpddr4-2400",
+    "lpddr4x": "lpddr4x-4266",
+    "ddr4": "ddr4-3200",
+}
+
+
+def get_dram_spec(name: str) -> DRAMSpec:
+    """Look up a named DRAM specification (accepting aliases like ``ddr4``)."""
+    key = name.strip().lower()
+    key = DRAM_SPEC_ALIASES.get(key, key)
+    try:
+        return DRAM_SPECS[key]
+    except KeyError:
+        known = ", ".join(sorted(set(DRAM_SPECS) | set(DRAM_SPEC_ALIASES)))
+        raise KeyError(f"unknown DRAM spec {name!r}; available: {known}") from None

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from ..gpu.profiler import GPUProfiler
-from ..gpu.specs import XNX, GPUSpec
+from ..gpu.specs import ALL_GPUS, XNX, GPUSpec
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.steps import StepName
 from .runner import ExperimentResult
 
@@ -20,7 +21,9 @@ PROFILED_STEPS = (
 )
 
 
-def run_fig04(gpu: GPUSpec = XNX) -> ExperimentResult:
+def run_fig04(
+    gpu: GPUSpec = XNX, *, context: SimulationContext | None = None
+) -> ExperimentResult:
     """Reproduce Fig. 4 on the XNX edge GPU.
 
     One row per profiled kernel with DRAM read/write throughput (GB/s), DRAM
@@ -28,10 +31,10 @@ def run_fig04(gpu: GPUSpec = XNX) -> ExperimentResult:
     observation — DRAM utilization 5.24x-21.44x higher than any compute
     utilization — is exposed through the ``bw_to_compute_ratio`` column.
     """
-    profiler = GPUProfiler.for_gpu(gpu)
+    ctx = context if context is not None else SimulationContext()
     rows = []
     for step in PROFILED_STEPS:
-        profile = profiler.profile_step(step)
+        profile = ctx.step_profile(gpu, step)
         rows.append(
             {
                 "kernel": step.value,
@@ -51,3 +54,16 @@ def run_fig04(gpu: GPUSpec = XNX) -> ExperimentResult:
         rows=rows,
         notes="Paper: DRAM utilization is 5.24x-21.44x the FPU/ALU utilization; all kernels memory-bound.",
     )
+
+
+@register_experiment(
+    "fig04",
+    paper_ref="Fig. 4",
+    title="Bottleneck-kernel DRAM/compute utilization on an edge GPU",
+    params=(
+        ParamSpec("gpu", str, "XNX", choices=tuple(ALL_GPUS), help="profiled GPU"),
+    ),
+    consumes=("gpu_profiles",),
+)
+def fig04_experiment(ctx: SimulationContext, *, gpu: str) -> ExperimentResult:
+    return run_fig04(ctx.gpu(gpu), context=ctx)

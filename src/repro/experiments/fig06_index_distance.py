@@ -9,8 +9,11 @@ from ..core.hashing import (
     MortonLocalityHash,
     OriginalSpatialHash,
     average_row_requests_per_cube,
+    get_hash_function,
     index_distance_breakdown,
 )
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_fig06"]
@@ -28,6 +31,7 @@ def run_fig06(
     table_size: int = 2**19,
     resolution: int = 2048,
     seed: int = 0,
+    hash_fns: tuple | None = None,
 ) -> ExperimentResult:
     """Index-distance breakdown between neighbouring cube vertices (Fig. 6).
 
@@ -41,7 +45,7 @@ def run_fig06(
     rng = np.random.default_rng(seed)
     base_coords = rng.integers(0, resolution, size=(num_cubes, 3))
     rows = []
-    for hash_fn in (MortonLocalityHash(), OriginalSpatialHash()):
+    for hash_fn in hash_fns or (MortonLocalityHash(), OriginalSpatialHash()):
         stats = index_distance_breakdown(hash_fn, base_coords, table_size)
         requests = average_row_requests_per_cube(hash_fn, base_coords, table_size)
         row = {"hash": hash_fn.name}
@@ -59,3 +63,33 @@ def run_fig06(
             "row requests/cube; the original hash keeps only 55.4% <=16, 22.7% >5000 and needs 4.02."
         ),
     )
+
+
+@register_experiment(
+    "fig06",
+    paper_ref="Fig. 6",
+    title="Hash-index distance histogram of neighbouring cube vertices",
+    params=(
+        ParamSpec("num_cubes", int, 4096, help="sampled cubes at the finest resolution"),
+        ParamSpec("table_size", int, 2**19, help="hash-table entries per level"),
+        ParamSpec("resolution", int, 2048, help="finest grid resolution"),
+        ParamSpec("seed", int, 0, help="cube-sampling seed"),
+        ParamSpec(
+            "hashes",
+            str,
+            "morton,original",
+            help="comma list of hash functions to compare",
+        ),
+    ),
+)
+def fig06_experiment(
+    ctx: SimulationContext,
+    *,
+    num_cubes: int,
+    table_size: int,
+    resolution: int,
+    seed: int,
+    hashes: str,
+) -> ExperimentResult:
+    fns = tuple(get_hash_function(name) for name in hashes.split(",") if name.strip())
+    return run_fig06(num_cubes, table_size, resolution, seed, hash_fns=fns)

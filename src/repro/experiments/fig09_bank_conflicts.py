@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from ..core.hashing import MortonLocalityHash
+from ..core.hashing import HashFunction, MortonLocalityHash, get_hash_function
 from ..core.mapping import HashTableMapper, HashTableMappingConfig, IntraLevelPolicy
 from ..nerf.encoding import HashGridConfig
-from ..workloads.traces import HashTraceGenerator, TraceConfig
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
+from ..workloads.traces import TraceConfig
 from .runner import ExperimentResult
 
 __all__ = ["run_fig09"]
@@ -16,6 +18,9 @@ def run_fig09(
     grid_config: HashGridConfig | None = None,
     trace_config: TraceConfig | None = None,
     parallel_points: int = 32,
+    *,
+    context: SimulationContext | None = None,
+    hash_fn: HashFunction | None = None,
 ) -> ExperimentResult:
     """Normalized bank conflicts per hash-table level vs number of subarrays.
 
@@ -28,12 +33,13 @@ def run_fig09(
     """
     grid = grid_config or HashGridConfig(num_levels=16)
     trace = trace_config or TraceConfig(num_rays=64, points_per_ray=64, seed=1)
-    generator = HashTraceGenerator(grid, trace, hash_fn=MortonLocalityHash())
+    ctx = context if context is not None else SimulationContext()
+    hash_fn = hash_fn or MortonLocalityHash()
 
     rows = []
     reference_conflicts = None
     for level in range(grid.num_levels):
-        indices = generator.indices_for_level(level).ravel()
+        indices = ctx.level_indices(grid, trace, hash_fn, level).ravel()
         row: dict = {"level": level, "resolution": grid.resolutions[level]}
         for subarrays in subarray_counts:
             mapper = HashTableMapper(
@@ -64,4 +70,55 @@ def run_fig09(
             "motivating the inter-level grouping; >50% of single-subarray conflicts stem from "
             "sequential addresses."
         ),
+    )
+
+
+@register_experiment(
+    "fig09",
+    paper_ref="Fig. 9",
+    title="Bank conflicts per hash-table level vs subarray parallelism",
+    params=(
+        ParamSpec("scene", str, "lego", help="scene whose training rays form the trace"),
+        ParamSpec("hash", str, "morton", help="hash function generating the lookups"),
+        ParamSpec("subarrays", str, "1,2,4,8,16,32,64", help="comma list of subarray counts"),
+        ParamSpec("levels", int, 16, help="hash-grid levels"),
+        ParamSpec("rays", int, 128, help="rays per trace batch"),
+        ParamSpec("points_per_ray", int, 64, help="samples per ray"),
+        ParamSpec("seed", int, 0, help="trace seed"),
+        ParamSpec("probe_samples", int, 24, help="density probes per ray for scene traces"),
+        ParamSpec("parallel_points", int, 32, help="points issued in parallel"),
+    ),
+    provides=("level_indices",),
+)
+def fig09_experiment(
+    ctx: SimulationContext,
+    *,
+    scene: str,
+    hash: str,
+    subarrays: str,
+    levels: int,
+    rays: int,
+    points_per_ray: int,
+    seed: int,
+    probe_samples: int,
+    parallel_points: int,
+) -> ExperimentResult:
+    counts = tuple(int(v) for v in subarrays.split(",") if v.strip())
+    if not counts or any(c <= 0 for c in counts):
+        raise ValueError(f"subarrays must be positive integers, got {subarrays!r}")
+    grid = HashGridConfig(num_levels=levels)
+    trace = TraceConfig(
+        num_rays=rays,
+        points_per_ray=points_per_ray,
+        seed=seed,
+        scene=scene or None,
+        probe_samples=probe_samples,
+    )
+    return run_fig09(
+        counts,
+        grid,
+        trace,
+        parallel_points,
+        context=ctx,
+        hash_fn=get_hash_function(hash),
     )

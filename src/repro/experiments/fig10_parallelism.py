@@ -9,6 +9,8 @@ from ..core.parallelism import (
     analyze_plan,
     heterogeneous_plan,
 )
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.steps import INGPWorkloadModel
 from .runner import ExperimentResult
 
@@ -43,3 +45,17 @@ def run_fig10(num_banks: int = 16, workload: INGPWorkloadModel | None = None) ->
             "keeps intra-step movement at zero and restricts gradient partial sums to the tiny MLPs."
         ),
     )
+
+
+@register_experiment(
+    "fig10",
+    paper_ref="Fig. 10",
+    title="Inter-bank data movement of the three parallelism plans",
+    params=(
+        ParamSpec("num_banks", int, 16, help="active NMP banks"),
+    ),
+)
+def fig10_experiment(ctx: SimulationContext, *, num_banks: int) -> ExperimentResult:
+    if num_banks <= 0:
+        raise ValueError("num_banks must be positive")
+    return run_fig10(num_banks)

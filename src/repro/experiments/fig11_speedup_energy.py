@@ -4,6 +4,10 @@ from __future__ import annotations
 
 from ..core.codesign import SCENE_DIFFICULTY, AlgorithmConfig, InstantNeRFSystem
 from ..gpu.specs import TX2, XNX
+from ..nerf.encoding import HashGridConfig
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
+from ..workloads.traces import TraceConfig
 from .runner import ExperimentResult
 
 __all__ = ["run_fig11", "PAPER_RANGES"]
@@ -21,6 +25,8 @@ def run_fig11(
     system: InstantNeRFSystem | None = None,
     scenes: tuple[str, ...] | None = None,
     use_measured_gpu_time: bool = True,
+    *,
+    context: SimulationContext | None = None,
 ) -> ExperimentResult:
     """Per-scene speedup and energy-efficiency improvement over TX2 and XNX.
 
@@ -31,7 +37,11 @@ def run_fig11(
     difficulty; set ``use_measured_gpu_time=False`` to use the roofline model
     for both sides.
     """
-    system = system or InstantNeRFSystem(AlgorithmConfig.instant_nerf())
+    if system is None:
+        if context is not None:
+            system = context.system(AlgorithmConfig.instant_nerf())
+        else:
+            system = InstantNeRFSystem(AlgorithmConfig.instant_nerf())
     scenes = scenes or tuple(SCENE_DIFFICULTY)
     rows = []
     for scene in scenes:
@@ -57,3 +67,61 @@ def run_fig11(
             "46.4x-103.7x (XNX) energy-efficiency improvement."
         ),
     )
+
+
+@register_experiment(
+    "fig11",
+    paper_ref="Fig. 11",
+    title="Accelerator speedup and energy efficiency vs edge GPUs",
+    params=(
+        ParamSpec("scene", str, "all", help="one scene name, or 'all' for the eight scenes"),
+        ParamSpec("hash", str, "morton", help="hash function of the evaluated algorithm"),
+        ParamSpec(
+            "trace_scene", str, "lego", help="scene whose training rays drive the locality model"
+        ),
+        ParamSpec("levels", int, 16, help="hash-grid levels"),
+        ParamSpec("rays", int, 128, help="rays per locality trace"),
+        ParamSpec("points_per_ray", int, 64, help="samples per ray"),
+        ParamSpec("seed", int, 0, help="trace seed"),
+        ParamSpec("probe_samples", int, 24, help="density probes per ray for scene traces"),
+        ParamSpec(
+            "measured_gpu", bool, True, help="use the paper's measured GPU times as baseline"
+        ),
+    ),
+)
+def fig11_experiment(
+    ctx: SimulationContext,
+    *,
+    scene: str,
+    hash: str,
+    trace_scene: str,
+    levels: int,
+    rays: int,
+    points_per_ray: int,
+    seed: int,
+    probe_samples: int,
+    measured_gpu: bool,
+) -> ExperimentResult:
+    if hash in ("morton", "morton-locality"):
+        algorithm = AlgorithmConfig.instant_nerf()
+    elif hash in ("original", "ingp-prime-xor"):
+        algorithm = AlgorithmConfig.ingp()
+    else:
+        raise KeyError(f"unknown hash function {hash!r}; available: morton, original")
+    if scene == "all":
+        scenes = tuple(SCENE_DIFFICULTY)
+    else:
+        if scene not in SCENE_DIFFICULTY:
+            known = ", ".join(SCENE_DIFFICULTY)
+            raise KeyError(f"unknown scene {scene!r}; available: {known}, all")
+        scenes = (scene,)
+    grid = HashGridConfig(num_levels=levels)
+    trace = TraceConfig(
+        num_rays=rays,
+        points_per_ray=points_per_ray,
+        seed=seed,
+        scene=trace_scene or None,
+        probe_samples=probe_samples,
+    )
+    system = ctx.system(algorithm, grid, trace)
+    return run_fig11(system, scenes, measured_gpu, context=ctx)

@@ -1,12 +1,39 @@
-"""Shared helpers for the experiment harnesses: result containers and
+"""Shared helpers for the experiment harnesses: result containers,
 plain-text table rendering (the benchmarks print the same rows/series the
-paper's tables and figures report)."""
+paper's tables and figures report) and JSON/CSV artifact serialization used
+by the ``python -m repro`` pipeline."""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
-__all__ = ["ExperimentResult", "format_table", "format_series"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+    "write_json_artifact",
+    "write_csv_artifact",
+]
+
+
+def _plain(value):
+    """Convert numpy scalars/arrays and other exotic values to plain Python."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (ValueError, AttributeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return value
 
 
 @dataclass
@@ -32,7 +59,14 @@ class ExperimentResult:
 
     def column(self, name: str) -> list:
         """All values of one column, in row order."""
-        return [row[name] for row in self.rows]
+        try:
+            return [row[name] for row in self.rows]
+        except KeyError:
+            available = sorted({col for row in self.rows for col in row})
+            raise KeyError(
+                f"unknown column {name!r} in {self.experiment_id}; "
+                f"available columns: {', '.join(available) or '(none)'}"
+            ) from None
 
     def to_text(self) -> str:
         header = f"{self.experiment_id}: {self.description}"
@@ -41,6 +75,48 @@ class ExperimentResult:
         if self.notes:
             parts.append(f"note: {self.notes}")
         return "\n".join(parts)
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """Plain-Python dictionary form (numpy scalars converted)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "rows": [_plain(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON artifact text; round-trips through :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            description=payload["description"],
+            rows=[dict(row) for row in payload.get("rows", [])],
+            notes=payload.get("notes", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def to_csv(self) -> str:
+        """CSV rendering of the rows (union of all columns, row order kept)."""
+        columns: list[str] = []
+        for row in self.rows:
+            for col in row:
+                if col not in columns:
+                    columns.append(col)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({col: _plain(row.get(col, "")) for col in columns})
+        return buffer.getvalue()
 
 
 def _format_value(value) -> str:
@@ -72,3 +148,19 @@ def format_series(name: str, values: list[float], precision: int = 3) -> str:
     """Render a named numeric series on one line (for figure-style output)."""
     formatted = ", ".join(f"{v:.{precision}g}" for v in values)
     return f"{name}: [{formatted}]"
+
+
+def write_json_artifact(result: ExperimentResult, path: str | Path) -> Path:
+    """Write ``result`` as a JSON artifact, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(result.to_json() + "\n")
+    return path
+
+
+def write_csv_artifact(result: ExperimentResult, path: str | Path) -> Path:
+    """Write ``result``'s rows as a CSV artifact, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(result.to_csv())
+    return path

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from ..gpu.specs import ALL_GPUS
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import register_experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_tab01"]
@@ -31,3 +33,12 @@ def run_tab01() -> ExperimentResult:
         rows=rows,
         notes="Values transcribed from the paper; used as inputs to the roofline and energy models.",
     )
+
+
+@register_experiment(
+    "tab01",
+    paper_ref="Table I",
+    title="Specifications of the considered GPUs",
+)
+def tab01_experiment(ctx: SimulationContext) -> ExperimentResult:
+    return run_tab01()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import register_experiment
 from ..workloads.steps import INGPWorkloadModel
 from .runner import ExperimentResult
 
@@ -42,3 +44,12 @@ def run_tab02(workload: INGPWorkloadModel | None = None) -> ExperimentResult:
         rows=rows,
         notes="Derived from L=16, T=2^19, F=2, FP16 storage, 256K points/iteration.",
     )
+
+
+@register_experiment(
+    "tab02",
+    paper_ref="Table II",
+    title="Parameter/data sizes of iNGP's bottleneck steps",
+)
+def tab02_experiment(ctx: SimulationContext) -> ExperimentResult:
+    return run_tab02()

@@ -3,21 +3,27 @@
 from __future__ import annotations
 
 from ..accel.microarch import BankMicroarchitecture
-from ..dram.spec import LPDDR4_2400
+from ..dram.spec import DRAMSpec, LPDDR4_2400, get_dram_spec
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_tab03"]
 
 
-def run_tab03(microarch: BankMicroarchitecture | None = None) -> ExperimentResult:
+def run_tab03(
+    microarch: BankMicroarchitecture | None = None,
+    dram_spec: DRAMSpec | None = None,
+    dram_name: str = "LPDDR4-2400",
+) -> ExperimentResult:
     """Reproduce Table III (configuration) and the Sec. V-C area/power numbers."""
     microarch = microarch or BankMicroarchitecture()
-    spec = LPDDR4_2400
+    spec = dram_spec or LPDDR4_2400
     org = spec.organization
     timing = spec.timing
     summary = microarch.summary()
     rows = [
-        {"parameter": "DRAM type", "value": "LPDDR4-2400"},
+        {"parameter": "DRAM type", "value": dram_name},
         {"parameter": "Total capacity (GB)", "value": org.total_capacity_bytes / 1024**3},
         {"parameter": "I/O interface (bits)", "value": org.io_width_bits},
         {"parameter": "Channels", "value": org.num_channels},
@@ -44,3 +50,15 @@ def run_tab03(microarch: BankMicroarchitecture | None = None) -> ExperimentResul
         rows=rows,
         notes="Paper: 3.6 mm^2 (1.5% of a bank) and 596.3 mW per microarchitecture at 28 nm / 200 MHz.",
     )
+
+
+@register_experiment(
+    "tab03",
+    paper_ref="Table III",
+    title="Accelerator configuration, area and power",
+    params=(
+        ParamSpec("dram", str, "lpddr4-2400", help="DRAM spec to list the organization of"),
+    ),
+)
+def tab03_experiment(ctx: SimulationContext, *, dram: str) -> ExperimentResult:
+    return run_tab03(dram_spec=get_dram_spec(dram), dram_name=dram.upper())

@@ -11,19 +11,29 @@ iNGP-vs-Instant-NeRF gap are the reproduced shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..core.hashing import MortonLocalityHash, OriginalSpatialHash
+from ..core.hashing import MortonLocalityHash
 from ..nerf.baselines import FastNeRFField, TensoRFField
 from ..nerf.encoding import HashGridConfig
 from ..nerf.field import InstantNGPField, RadianceField, VanillaNeRFField
 from ..nerf.trainer import Trainer, TrainerConfig
-from ..scenes.dataset import DatasetConfig, load_synthetic_dataset
+from ..pipeline.context import SimulationContext
+from ..pipeline.registry import ParamSpec, register_experiment
+from ..scenes.dataset import DatasetConfig
+from ..scenes.library import SCENE_NAMES
 from .runner import ExperimentResult
 
-__all__ = ["run_tab04", "QualityRunConfig", "build_field", "PAPER_TABLE4_AVG_PSNR", "METHODS"]
+__all__ = [
+    "run_tab04",
+    "QualityRunConfig",
+    "build_field",
+    "train_method_on_scene",
+    "PAPER_TABLE4_AVG_PSNR",
+    "METHODS",
+]
 
 #: Paper Table IV average PSNR over the eight scenes.
 PAPER_TABLE4_AVG_PSNR = {
@@ -89,9 +99,32 @@ def build_field(method: str, rng: np.random.Generator | None = None) -> Radiance
     raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
 
+def train_method_on_scene(
+    method: str,
+    scene: str,
+    config: QualityRunConfig,
+    *,
+    context: SimulationContext | None = None,
+) -> float:
+    """Train one (method, scene) cell and return the held-out test PSNR.
+
+    The rendered dataset comes from the context (shared across methods and
+    sweep cells); training itself is deterministic in ``config.seed``.
+    """
+    ctx = context if context is not None else SimulationContext()
+    dataset = ctx.dataset(scene, config.dataset_config())
+    rng = np.random.default_rng(config.seed)
+    field = build_field(method, rng)
+    trainer = Trainer(field, dataset, config.trainer_config())
+    trainer.train()
+    return float(trainer.evaluate())
+
+
 def run_tab04(
     config: QualityRunConfig | None = None,
     methods: tuple[str, ...] = METHODS,
+    *,
+    context: SimulationContext | None = None,
 ) -> ExperimentResult:
     """Train each method on each scene and report test PSNR.
 
@@ -100,15 +133,11 @@ def run_tab04(
     closer (slower) reproduction.
     """
     config = config or QualityRunConfig()
+    ctx = context if context is not None else SimulationContext()
     per_method: dict[str, dict[str, float]] = {m: {} for m in methods}
     for scene in config.scenes:
-        dataset = load_synthetic_dataset(scene, config.dataset_config())
         for method in methods:
-            rng = np.random.default_rng(config.seed)
-            field = build_field(method, rng)
-            trainer = Trainer(field, dataset, config.trainer_config())
-            trainer.train()
-            per_method[method][scene] = trainer.evaluate()
+            per_method[method][scene] = ctx.trained_psnr(method, scene, config)
     rows = []
     for method in methods:
         scores = per_method[method]
@@ -125,3 +154,59 @@ def run_tab04(
             "the reproduced shape is the ordering and the small iNGP-vs-Instant-NeRF gap (paper: 0.23 dB)."
         ),
     )
+
+
+@register_experiment(
+    "tab04",
+    paper_ref="Table IV",
+    title="PSNR of the five NeRF training algorithms (reduced scale)",
+    params=(
+        ParamSpec("scenes", str, "lego,chair", help="comma list of scenes"),
+        ParamSpec(
+            "methods", str, "all", help="comma list of methods, or 'all' for the five families"
+        ),
+        ParamSpec("image_size", int, 40, help="rendered image resolution"),
+        ParamSpec("num_train_views", int, 8, help="training views per scene"),
+        ParamSpec("iterations", int, 120, help="training iterations"),
+        ParamSpec("rays_per_batch", int, 192, help="rays per training batch"),
+        ParamSpec("samples_per_ray", int, 40, help="samples per ray"),
+        ParamSpec("seed", int, 0, help="training seed"),
+    ),
+    tags=("slow", "training"),
+    provides=("dataset", "trained_field"),
+)
+def tab04_experiment(
+    ctx: SimulationContext,
+    *,
+    scenes: str,
+    methods: str,
+    image_size: int,
+    num_train_views: int,
+    iterations: int,
+    rays_per_batch: int,
+    samples_per_ray: int,
+    seed: int,
+) -> ExperimentResult:
+    scene_list = tuple(s.strip() for s in scenes.split(",") if s.strip())
+    for scene in scene_list:
+        if scene not in SCENE_NAMES:
+            known = ", ".join(SCENE_NAMES)
+            raise KeyError(f"unknown scene {scene!r}; available: {known}")
+    if methods == "all":
+        method_list = METHODS
+    else:
+        method_list = tuple(m.strip() for m in methods.split(",") if m.strip())
+        for method in method_list:
+            if method not in METHODS:
+                raise KeyError(f"unknown method {method!r}; expected one of {', '.join(METHODS)}")
+    config = replace(
+        QualityRunConfig(),
+        scenes=scene_list,
+        image_size=image_size,
+        num_train_views=num_train_views,
+        iterations=iterations,
+        rays_per_batch=rays_per_batch,
+        samples_per_ray=samples_per_ray,
+        seed=seed,
+    )
+    return run_tab04(config, method_list, context=ctx)

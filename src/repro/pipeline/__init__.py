@@ -1,0 +1,48 @@
+"""Config-driven experiment pipeline.
+
+The pipeline layer turns the per-figure ``run_*`` harnesses into declarative,
+registry-addressable experiments that share expensive simulation artifacts:
+
+* :mod:`repro.pipeline.registry` — typed :class:`ExperimentSpec` registry
+  with declarative parameter spaces and the ``@register_experiment``
+  decorator.
+* :mod:`repro.pipeline.context` — :class:`SimulationContext`, a config-hash
+  keyed memo of generated traces, index streams, locality statistics,
+  datasets, trained fields, GPU profiles and serviced DRAM batches.
+* :mod:`repro.pipeline.sweep` — parallel parameter sweeps with deterministic
+  per-cell seeding.
+* :mod:`repro.pipeline.cli` — the ``python -m repro`` command line
+  (``list`` / ``run`` / ``sweep`` / ``report``).
+"""
+
+from .context import ContextStats, SimulationContext, config_key
+from .registry import (
+    ExperimentSpec,
+    ParamSpec,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+    run_suite,
+)
+from .sweep import SweepCell, SweepResult, cell_seed, expand_grid, sweep
+
+__all__ = [
+    "SimulationContext",
+    "ContextStats",
+    "config_key",
+    "ExperimentSpec",
+    "ParamSpec",
+    "register_experiment",
+    "get_experiment",
+    "all_experiments",
+    "experiment_names",
+    "run_experiment",
+    "run_suite",
+    "sweep",
+    "SweepCell",
+    "SweepResult",
+    "expand_grid",
+    "cell_seed",
+]

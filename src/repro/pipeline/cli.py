@@ -1,0 +1,326 @@
+"""``python -m repro`` — the command-line front end of the experiment pipeline.
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment with its paper reference and parameters.
+``run``
+    Run one experiment, e.g. ``python -m repro run fig07 --scene lego --dram
+    ddr4``; prints the reproduced table and optionally writes JSON/CSV
+    artifacts.
+``sweep``
+    Evaluate a parameter grid in parallel, e.g. ``python -m repro sweep fig07
+    --grid scene=lego,chair --grid hash=morton,original --workers 4``.
+``report``
+    Run the full suite against one shared :class:`SimulationContext` and
+    write all artifacts plus a summary index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from ..experiments.runner import ExperimentResult, write_csv_artifact, write_json_artifact
+from .context import SimulationContext
+from .registry import all_experiments, get_experiment, run_suite
+from .sweep import sweep
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_param_flags(parser: argparse.ArgumentParser, spec_name: str | None) -> None:
+    """Dynamic per-experiment flags (``--scene``, ``--dram``, ...)."""
+    if spec_name is None:
+        return
+    try:
+        spec = get_experiment(spec_name)
+    except KeyError:
+        return  # the command handler reports the unknown name properly
+
+    for param in spec.params:
+        flag = "--" + param.name.replace("_", "-")
+        help_text = param.help or f"{param.kind.__name__} (default: {param.default!r})"
+        if param.choices is not None:
+            help_text += f" [choices: {', '.join(map(str, param.choices))}]"
+        parser.add_argument(flag, dest=f"param_{param.name}", default=None, help=help_text)
+
+
+def _parse_assignments(raw_entries: list[str] | None) -> dict[str, str]:
+    """Parse repeated ``--set KEY=VALUE`` flags."""
+    assignments: dict[str, str] = {}
+    for entry in raw_entries or []:
+        if "=" not in entry:
+            raise SystemExit(f"--set expects key=value, got {entry!r}")
+        key, value = entry.split("=", 1)
+        assignments[key.strip()] = value
+    return assignments
+
+
+def _collect_params(spec_name: str, namespace: argparse.Namespace) -> dict[str, Any]:
+    spec = get_experiment(spec_name)
+    overrides: dict[str, Any] = {}
+    for param in spec.params:
+        raw = getattr(namespace, f"param_{param.name}", None)
+        if raw is not None:
+            overrides[param.name] = raw
+    overrides.update(_parse_assignments(getattr(namespace, "set", None)))
+    return overrides
+
+
+def _write_artifacts(result: ExperimentResult, name: str, out: str | None, formats: list[str]) -> list[Path]:
+    if out is None:
+        return []
+    out_dir = Path(out)
+    written = []
+    if "json" in formats:
+        written.append(write_json_artifact(result, out_dir / f"{name}.json"))
+    if "csv" in formats:
+        written.append(write_csv_artifact(result, out_dir / f"{name}.csv"))
+    if "text" in formats:
+        path = out_dir / f"{name}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.to_text() + "\n")
+        written.append(path)
+    return written
+
+
+def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
+    """The argument parser.
+
+    ``run_spec`` names the experiment whose typed flags the ``run``
+    subcommand should expose; :func:`main` discovers it with a first
+    tolerant parsing pass, then re-parses strictly against the full parser,
+    so flag order relative to the experiment name does not matter.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Config-driven reproduction pipeline for the Instant-NeRF NMP paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.add_argument("--json", action="store_true", help="machine-readable listing")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="registered experiment name (see `repro list`)")
+    p_run.add_argument("--out", default=None, help="artifact output directory")
+    p_run.add_argument(
+        "--formats", default="json,csv", help="comma list of artifact formats (json,csv,text)"
+    )
+    p_run.add_argument("--quiet", action="store_true", help="suppress the table printout")
+    p_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override any experiment parameter (repeatable)",
+    )
+    _add_param_flags(p_run, run_spec)
+
+    p_sweep = sub.add_parser("sweep", help="sweep an experiment over a parameter grid")
+    p_sweep.add_argument("experiment", help="registered experiment name")
+    p_sweep.add_argument(
+        "--grid",
+        action="append",
+        required=True,
+        metavar="KEY=V1,V2,...",
+        help="one swept parameter with its values (repeatable)",
+    )
+    p_sweep.add_argument("--workers", type=int, default=1, help="thread-pool width")
+    p_sweep.add_argument("--base-seed", type=int, default=0, help="seed folded into every cell")
+    p_sweep.add_argument("--out", default=None, help="artifact output directory")
+    p_sweep.add_argument("--quiet", action="store_true", help="suppress per-cell printouts")
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fixed override applied to every cell (repeatable)",
+    )
+
+    p_report = sub.add_parser("report", help="run the full suite with a shared context")
+    p_report.add_argument(
+        "--experiments",
+        default=None,
+        help="comma list of experiment names (default: all registered)",
+    )
+    p_report.add_argument("--out", default=None, help="artifact output directory")
+    p_report.add_argument(
+        "--formats", default="json,csv", help="comma list of artifact formats (json,csv,text)"
+    )
+    p_report.add_argument("--quiet", action="store_true", help="suppress the table printouts")
+    p_report.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink the training-based experiments to smoke scale",
+    )
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = all_experiments()
+    if args.json:
+        payload = [
+            {
+                "name": spec.name,
+                "paper_ref": spec.paper_ref,
+                "title": spec.title,
+                "params": {p.name: p.default for p in spec.params},
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    ref_width = max(len(spec.paper_ref) for spec in specs)
+    for spec in specs:
+        params = ", ".join(p.name for p in spec.params) or "-"
+        print(f"{spec.name.ljust(width)}  {spec.paper_ref.ljust(ref_width)}  {spec.title}")
+        print(f"{' ' * width}  {' ' * ref_width}  params: {params}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    overrides = _collect_params(spec.name, args)
+    started = time.perf_counter()
+    result = spec.run(SimulationContext(), **overrides)
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(result.to_text())
+        print(f"[{spec.name} finished in {elapsed:.2f} s]")
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    for path in _write_artifacts(result, spec.name, args.out, formats):
+        if not args.quiet:
+            print(f"wrote {path}")
+    return 0
+
+
+def _parse_grid(raw_entries: list[str]) -> dict[str, list[str]]:
+    grid: dict[str, list[str]] = {}
+    for entry in raw_entries:
+        if "=" not in entry:
+            raise SystemExit(f"--grid expects key=v1,v2,..., got {entry!r}")
+        key, values = entry.split("=", 1)
+        grid[key.strip()] = [v.strip() for v in values.split(",") if v.strip()]
+        if not grid[key.strip()]:
+            raise SystemExit(f"--grid {entry!r} lists no values")
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    grid = _parse_grid(args.grid)
+    extra = _parse_assignments(args.set)
+    started = time.perf_counter()
+    result = sweep(
+        spec,
+        grid,
+        workers=args.workers,
+        base_seed=args.base_seed,
+        extra_params=extra or None,
+    )
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        for cell in result.cells:
+            label = ", ".join(f"{k}={v}" for k, v in cell.params.items())
+            if cell.error is not None:
+                print(f"cell {cell.index} [{label}] FAILED:\n{cell.error}")
+            else:
+                print(f"-- cell {cell.index} [{label}] --")
+                print(cell.result.to_text())
+        print(
+            f"[{spec.name} sweep: {len(result.cells)} cells, {len(result.failed)} failed, "
+            f"{args.workers} workers, {elapsed:.2f} s]"
+        )
+    if args.out is not None:
+        index_path = result.write(args.out)
+        if not args.quiet:
+            print(f"wrote {index_path}")
+    return 1 if result.failed else 0
+
+
+#: Smoke-scale overrides used by ``report --fast`` (and CI) for the one
+#: experiment that runs real training.
+FAST_OVERRIDES: dict[str, dict[str, Any]] = {
+    "tab04": {
+        "scenes": "lego",
+        "methods": "ingp,instant-nerf",
+        "image_size": 24,
+        "num_train_views": 4,
+        "iterations": 40,
+        "rays_per_batch": 96,
+        "samples_per_ray": 24,
+    },
+}
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    names = (
+        [n.strip() for n in args.experiments.split(",") if n.strip()]
+        if args.experiments
+        else None
+    )
+    overrides = FAST_OVERRIDES if args.fast else {}
+    context = SimulationContext()
+    started = time.perf_counter()
+    results = run_suite(names, context=context, overrides=overrides)
+    elapsed = time.perf_counter() - started
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    for name, result in results.items():
+        if not args.quiet:
+            print(result.to_text())
+            print()
+        _write_artifacts(result, name, args.out, formats)
+    summary = {
+        "experiments": list(results),
+        "elapsed_seconds": elapsed,
+        "context": {
+            "cached_artifacts": context.cached_artifacts(),
+            "cache_hits": context.stats.hits,
+            "cache_misses": context.stats.misses,
+        },
+    }
+    if args.out is not None:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    if not args.quiet:
+        print(
+            f"[suite: {len(results)} experiments in {elapsed:.2f} s; "
+            f"context reused {context.stats.hits} of {context.stats.total} artifact requests]"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also exposed as the ``repro`` console script)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # First pass tolerates the (not yet registered) per-experiment flags and
+    # just discovers the subcommand + experiment name; the strict second
+    # pass then knows which typed flags to accept, wherever they appear.
+    args, unknown = build_parser().parse_known_args(argv)
+    run_spec = args.experiment if args.command == "run" else None
+    if run_spec is not None or unknown:
+        parser = build_parser(run_spec)
+        args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,464 @@
+"""Shared simulation context: config-hashed memoization of expensive artifacts.
+
+Every experiment in the registry runs against a :class:`SimulationContext`.
+The context memoizes the artifacts that are expensive to build and shared
+between experiments and sweep cells — generated point/lookup traces, per-level
+corner-index streams, locality statistics, rendered datasets, trained fields,
+GPU profiles and serviced DRAM batches — keyed by a canonical hash of the
+configuration objects that produced them.  Running the full experiment suite
+(or a parameter sweep) through one context therefore computes each artifact
+once, where the legacy ``run_*`` entry points rebuild them from scratch on
+every call.
+
+The cache is thread-safe (sweeps run cells on a thread pool): the first
+caller of a key installs a :class:`concurrent.futures.Future` and computes;
+concurrent callers of the same key block on that future instead of
+recomputing.  All artifact producers are deterministic functions of their
+configuration, so memoization never changes results — only wall time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.hashing import HashFunction, average_row_requests_per_cube
+from ..core.streaming import (
+    StreamingOrder,
+    LocalityReport,
+    memory_requests_for_stream,
+    point_order,
+    points_sharing_same_cube,
+    register_hit_rate,
+    row_requests_from_corner_indices,
+)
+from ..dram.spec import DRAMSpec, get_dram_spec
+from ..gpu.profiler import GPUProfiler
+from ..gpu.specs import ALL_GPUS, GPUSpec
+from ..nerf.encoding import HashGridConfig
+from ..scenes.dataset import DatasetConfig, SyntheticNeRFDataset
+from ..scenes.library import build_scene
+from ..workloads.steps import StepName
+from ..workloads.traces import TraceConfig, generate_batch_points, level_lookup_indices, lookup_addresses
+
+__all__ = ["SimulationContext", "ContextStats", "config_key"]
+
+
+def config_key(obj: Any) -> Any:
+    """Canonical, hashable form of a configuration value.
+
+    Dataclasses become ``(type, (field, key(value)), ...)`` tuples, enums
+    their value, hash functions their registered name, numpy arrays a content
+    digest; containers recurse.  Two configurations with equal parameters map
+    to the same key regardless of object identity.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return (type(obj).__name__, obj.value)
+    if isinstance(obj, HashFunction):
+        return ("hash_fn", obj.name)
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha1(np.ascontiguousarray(obj).tobytes()).hexdigest()
+        return ("ndarray", obj.dtype.str, obj.shape, digest)
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = tuple(
+            (f.name, config_key(getattr(obj, f.name))) for f in dataclasses.fields(obj)
+        )
+        return (type(obj).__name__, fields)
+    if isinstance(obj, GPUSpec):
+        return ("gpu", obj.name)
+    if isinstance(obj, (list, tuple)):
+        return tuple(config_key(v) for v in obj)
+    if isinstance(obj, dict):
+        return tuple(sorted((str(k), config_key(v)) for k, v in obj.items()))
+    raise TypeError(f"cannot build a config key for {type(obj).__name__}: {obj!r}")
+
+
+@dataclass
+class ContextStats:
+    """Cache statistics (useful to assert sharing actually happened)."""
+
+    hits: int = 0
+    misses: int = 0
+    hit_keys: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    def hits_by_kind(self) -> dict[str, int]:
+        """Reuse counts per artifact kind (the first element of each key)."""
+        counts: dict[str, int] = {}
+        for kind in self.hit_keys:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+
+class SimulationContext:
+    """Memoizing store for shared simulation artifacts, keyed by config hash."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache: dict[Any, Future] = {}
+        self.stats = ContextStats()
+
+    # ----------------------------------------------------------- machinery
+    def memoize(self, key: Any, compute) -> Any:
+        """Return the cached value for ``key``, computing it at most once.
+
+        Thread-safe: concurrent callers of the same key block on the first
+        caller's future.  A failed computation is evicted so it can be
+        retried (and the error propagates to every waiter).
+        """
+        with self._lock:
+            fut = self._cache.get(key)
+            if fut is not None:
+                owner = False
+                self.stats.hits += 1
+                self.stats.hit_keys.append(key[0] if isinstance(key, tuple) else key)
+            else:
+                owner = True
+                fut = Future()
+                self._cache[key] = fut
+                self.stats.misses += 1
+        if not owner:
+            return fut.result()
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                self._cache.pop(key, None)
+            fut.set_exception(exc)
+            raise
+        fut.set_result(value)
+        return value
+
+    def peek(self, key: Any):
+        """The cached value for ``key`` if already computed, else ``None``.
+
+        A successful peek counts as a cache hit: it means a derived artifact
+        is being reused (e.g. row requests recovered from an index stream).
+        """
+        with self._lock:
+            fut = self._cache.get(key)
+        if fut is not None and fut.done() and fut.exception() is None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.hit_keys.append(key[0] if isinstance(key, tuple) else key)
+            return fut.result()
+        return None
+
+    def cached_artifacts(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # ------------------------------------------------------------- scenes
+    def scene(self, name: str):
+        """The named procedural :class:`~repro.scenes.primitives.SDFScene`."""
+        return self.memoize(("scene", name.lower()), lambda: build_scene(name))
+
+    def dataset(self, scene_name: str, config: DatasetConfig | None = None) -> SyntheticNeRFDataset:
+        """Rendered posed-image dataset for a scene (GT rendering is costly)."""
+        cfg = config or DatasetConfig()
+        key = ("dataset", scene_name.lower(), config_key(cfg))
+        return self.memoize(key, lambda: SyntheticNeRFDataset(self.scene(scene_name), cfg))
+
+    # ------------------------------------------------------------- traces
+    def batch_points(self, trace: TraceConfig) -> np.ndarray:
+        """The sampled training-batch points for a trace configuration."""
+        return self.memoize(("batch_points", config_key(trace)), lambda: generate_batch_points(trace))
+
+    def stream_order(self, trace: TraceConfig, order: StreamingOrder) -> np.ndarray:
+        """Point permutation for a streaming order (random order is seeded)."""
+        key = ("stream_order", config_key(trace), order.value)
+        return self.memoize(
+            key,
+            lambda: point_order(
+                trace.num_rays,
+                trace.points_per_ray,
+                order,
+                rng=np.random.default_rng(trace.seed),
+            ),
+        )
+
+    def level_indices(
+        self, grid: HashGridConfig, trace: TraceConfig, hash_fn: HashFunction, level: int
+    ) -> np.ndarray:
+        """``(N, 8)`` corner table indices of the trace at one level (ray-major)."""
+        key = self._indices_key(grid, trace, hash_fn, level)
+        return self.memoize(
+            key,
+            lambda: level_lookup_indices(
+                self.batch_points(trace).reshape(-1, 3), level, grid, hash_fn
+            ),
+        )
+
+    def _indices_key(self, grid, trace, hash_fn, level):
+        return ("level_indices", config_key(grid), config_key(trace), hash_fn.name, level)
+
+    def level_addresses(
+        self,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        hash_fn: HashFunction,
+        level: int,
+        base_address: int = 0,
+    ) -> np.ndarray:
+        """Flattened byte-address trace of one level's lookups."""
+        key = ("level_addresses", config_key(grid), config_key(trace), hash_fn.name, level, base_address)
+        return self.memoize(
+            key,
+            lambda: lookup_addresses(
+                self.level_indices(grid, trace, hash_fn, level),
+                level,
+                grid,
+                trace.entry_bytes,
+                base_address,
+            ),
+        )
+
+    # ----------------------------------------------------------- locality
+    def cube_sharing(self, trace: TraceConfig, resolution: int, order: StreamingOrder) -> float:
+        """Average same-cube run length of the trace at one resolution."""
+        key = ("cube_sharing", config_key(trace), resolution, order.value)
+        return self.memoize(
+            key,
+            lambda: points_sharing_same_cube(
+                self.batch_points(trace).reshape(-1, 3),
+                resolution,
+                self.stream_order(trace, order),
+            ),
+        )
+
+    def register_hits(self, trace: TraceConfig, resolution: int, order: StreamingOrder) -> float:
+        """Register hit rate of the trace at one resolution."""
+        key = ("register_hits", config_key(trace), resolution, order.value)
+        return self.memoize(
+            key,
+            lambda: register_hit_rate(
+                self.batch_points(trace).reshape(-1, 3),
+                resolution,
+                self.stream_order(trace, order),
+            ),
+        )
+
+    def row_requests(
+        self,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        hash_fn: HashFunction,
+        order: StreamingOrder,
+        level: int,
+        row_bytes: int = 1024,
+    ) -> int:
+        """DRAM row requests to stream one level's lookups.
+
+        Reuses the corner-index stream cached by :meth:`level_indices` when a
+        previous experiment (e.g. the bank-conflict analysis) already built
+        it; otherwise falls back to the direct run-length accounting.  Both
+        paths return identical counts.
+        """
+        key = (
+            "row_requests",
+            config_key(grid),
+            config_key(trace),
+            hash_fn.name,
+            order.value,
+            level,
+            row_bytes,
+        )
+
+        def compute() -> int:
+            points = self.batch_points(trace)
+            perm = self.stream_order(trace, order)
+            cached = self.peek(self._indices_key(grid, trace, hash_fn, level))
+            if cached is not None:
+                return row_requests_from_corner_indices(
+                    points, cached, level, grid, perm, row_bytes, trace.entry_bytes
+                )
+            return memory_requests_for_stream(
+                points, level, grid, hash_fn, perm, row_bytes, trace.entry_bytes
+            )
+
+        return self.memoize(key, compute)
+
+    def locality_reports(
+        self,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        baseline_hash: HashFunction,
+        optimized_hash: HashFunction,
+        row_bytes: int = 1024,
+    ) -> list[LocalityReport]:
+        """Fig. 7 per-level locality comparison, assembled from cached parts."""
+        key = (
+            "locality_reports",
+            config_key(grid),
+            config_key(trace),
+            baseline_hash.name,
+            optimized_hash.name,
+            row_bytes,
+        )
+
+        def compute() -> list[LocalityReport]:
+            reports = []
+            for level in range(grid.num_levels):
+                res = grid.resolutions[level]
+                reports.append(
+                    LocalityReport(
+                        level=level,
+                        baseline_requests=self.row_requests(
+                            grid, trace, baseline_hash, StreamingOrder.RANDOM, level, row_bytes
+                        ),
+                        optimized_requests=self.row_requests(
+                            grid, trace, optimized_hash, StreamingOrder.RAY_FIRST, level, row_bytes
+                        ),
+                        sharing_run_length=self.cube_sharing(trace, res, StreamingOrder.RAY_FIRST),
+                        register_hit_rate=self.register_hits(trace, res, StreamingOrder.RAY_FIRST),
+                    )
+                )
+            return reports
+
+        return self.memoize(key, compute)
+
+    def requests_per_cube(
+        self, grid: HashGridConfig, trace: TraceConfig, hash_fn: HashFunction, level: int
+    ) -> float:
+        """Average DRAM row requests per cube at one (usually finest) level."""
+        key = ("requests_per_cube", config_key(grid), config_key(trace), hash_fn.name, level)
+
+        def compute() -> float:
+            flat = self.batch_points(trace).reshape(-1, 3)
+            resolution = grid.resolutions[level]
+            base = np.clip((flat * resolution).astype(np.int64), 0, resolution - 1)
+            return float(
+                average_row_requests_per_cube(hash_fn, base, grid.level_table_entries(level))
+            )
+
+        return self.memoize(key, compute)
+
+    # ------------------------------------------------------------ codesign
+    def system(self, algorithm=None, grid: HashGridConfig | None = None, trace: TraceConfig | None = None):
+        """A co-designed :class:`~repro.core.codesign.InstantNeRFSystem`.
+
+        The system measures its algorithm locality through this context, so
+        traces and per-level sharing statistics are shared with the locality
+        experiments instead of being rebuilt.
+        """
+        from ..core.codesign import AlgorithmConfig, InstantNeRFSystem
+
+        algorithm = algorithm or AlgorithmConfig.instant_nerf()
+        key = (
+            "system",
+            algorithm.name,
+            config_key(algorithm.hash_fn),
+            algorithm.streaming_order.value,
+            config_key(grid),
+            config_key(trace),
+        )
+        return self.memoize(
+            key,
+            lambda: InstantNeRFSystem(algorithm, grid, trace_config=trace, context=self),
+        )
+
+    # ------------------------------------------------------------ training
+    def trained_psnr(self, method: str, scene_name: str, quality_config) -> float:
+        """Held-out test PSNR of one (method, scene) training cell.
+
+        Keyed by the dataset and trainer configurations — not by the cell
+        list of the calling experiment — so sweep cells and suite runs share
+        trained fields whenever their per-cell configuration matches.
+        """
+        from ..experiments.tab04_psnr import train_method_on_scene
+
+        key = (
+            "trained_psnr",
+            method,
+            scene_name.lower(),
+            config_key(quality_config.dataset_config()),
+            config_key(quality_config.trainer_config()),
+        )
+        return self.memoize(
+            key, lambda: train_method_on_scene(method, scene_name, quality_config, context=self)
+        )
+
+    # ----------------------------------------------------------- profiling
+    def gpu(self, name: str) -> GPUSpec:
+        """Resolve a GPU by name (e.g. ``XNX``, ``TX2``, ``2080Ti``)."""
+        try:
+            return ALL_GPUS[name]
+        except KeyError:
+            known = ", ".join(ALL_GPUS)
+            raise KeyError(f"unknown GPU {name!r}; available: {known}") from None
+
+    def scene_profile(self, gpu: GPUSpec):
+        """Modelled per-scene training profile of iNGP on one GPU."""
+        return self.memoize(
+            ("scene_profile", gpu.name), lambda: GPUProfiler.for_gpu(gpu).profile_scene()
+        )
+
+    def step_profile(self, gpu: GPUSpec, step: StepName):
+        """Modelled kernel profile of one training step on one GPU.
+
+        Pulls the kernel out of an already-cached scene profile when one
+        exists (the scene profile embeds every step's profile).
+        """
+
+        def compute():
+            scene = self.peek(("scene_profile", gpu.name))
+            if scene is not None:
+                return scene.kernels[step.value]
+            return GPUProfiler.for_gpu(gpu).profile_step(step)
+
+        return self.memoize(("step_profile", gpu.name, step.value), compute)
+
+    # ---------------------------------------------------------------- DRAM
+    def dram_spec(self, name: str) -> DRAMSpec:
+        """Resolve a named DRAM specification (aliases accepted)."""
+        return get_dram_spec(name)
+
+    def serviced_batch(
+        self,
+        dram: str,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        hash_fn: HashFunction,
+        level: int,
+    ) -> dict:
+        """Service one level's address trace through the DRAM timing model.
+
+        Returns a summary of the serviced batch (cycles, row hit/miss/conflict
+        counts) keyed by the full configuration, so repeated evaluations of
+        the same stream — across report runs or sweep cells — replay the
+        cached result instead of re-simulating.
+        """
+        key = ("serviced_batch", dram, config_key(grid), config_key(trace), hash_fn.name, level)
+
+        def compute() -> dict:
+            from ..dram.system import DRAMSystem
+
+            spec = self.dram_spec(dram)
+            system = DRAMSystem(spec)
+            addresses = self.level_addresses(grid, trace, hash_fn, level)
+            result = system.service_batch(addresses % spec.organization.total_capacity_bytes)
+            return {
+                "total_requests": int(result.total_requests),
+                "total_cycles": int(result.total_cycles),
+                "row_hits": int(result.row_hits),
+                "row_misses": int(result.row_misses),
+                "bank_conflicts": int(result.bank_conflicts),
+                "row_hit_rate": float(result.row_hit_rate),
+                "achieved_bandwidth_gbps": float(result.achieved_bandwidth_gbps),
+            }
+
+        return self.memoize(key, compute)

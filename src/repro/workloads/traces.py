@@ -16,7 +16,14 @@ import numpy as np
 from ..core.hashing import DenseGridIndexer, HashFunction
 from ..nerf.encoding import HashGridConfig
 
-__all__ = ["TraceConfig", "generate_batch_points", "level_lookup_indices", "lookup_addresses", "HashTraceGenerator"]
+__all__ = [
+    "TraceConfig",
+    "generate_batch_points",
+    "generate_scene_batch_points",
+    "level_lookup_indices",
+    "lookup_addresses",
+    "HashTraceGenerator",
+]
 
 
 @dataclass(frozen=True)
@@ -28,6 +35,14 @@ class TraceConfig:
     apart, which is the cone-marching step iNGP uses inside occupied regions.
     Consecutive samples therefore share cubes at coarse and mid levels —
     exactly the locality Fig. 7(a) quantifies.
+
+    When ``scene`` names one of the eight procedural scenes, rays are instead
+    cast through random pixels of orbiting training cameras (the Synthetic-
+    NeRF capture geometry) and each ray's sampling interval is tightened to
+    the occupied span found by probing the scene's density field — the same
+    occupancy-guided marching iNGP performs, so the resulting lookup stream
+    matches a real training batch for that scene rather than a uniform
+    random-ray surrogate.
     """
 
     num_rays: int = 256
@@ -36,15 +51,30 @@ class TraceConfig:
     far: float = 0.55
     seed: int = 0
     entry_bytes: int = 4  # one embedding vector: F=2 x FP16 = 32 bits
+    #: Optional named scene; ``None`` keeps the scene-agnostic random rays.
+    scene: str | None = None
+    #: Density probes per ray used to find the occupied [near, far] span.
+    probe_samples: int = 24
+    #: Camera orbit radius and scene half-extent (match the dataset defaults
+    #: so scene traces live in the same unit cube the trainer uses).
+    camera_radius: float = 2.2
+    scene_bound: float = 1.2
+    fov_degrees: float = 50.0
 
 
 def generate_batch_points(config: TraceConfig) -> np.ndarray:
-    """Sample a batch of points along random rays inside the unit cube.
+    """Sample a batch of points along rays of a training batch.
 
     Returns an array of shape ``(num_rays, points_per_ray, 3)`` with
     coordinates in ``[0, 1]``; consecutive points along axis 1 belong to the
     same ray (this ordering is what the ray-first streaming order exploits).
+    With ``config.scene`` set, rays come from the scene's orbiting training
+    cameras and are clipped to the occupied density span (see
+    :func:`generate_scene_batch_points`); otherwise they are scene-agnostic
+    random rays inside the unit cube.
     """
+    if config.scene is not None:
+        return generate_scene_batch_points(config)
     rng = np.random.default_rng(config.seed)
     origins = rng.uniform(0.0, 1.0, size=(config.num_rays, 3))
     directions = rng.normal(size=(config.num_rays, 3))
@@ -52,6 +82,69 @@ def generate_batch_points(config: TraceConfig) -> np.ndarray:
     t = np.linspace(config.near, config.far, config.points_per_ray)
     points = origins[:, None, :] + t[None, :, None] * directions[:, None, :] * 0.5
     return np.clip(points, 0.0, 1.0)
+
+
+def generate_scene_batch_points(config: TraceConfig) -> np.ndarray:
+    """Sample a training batch of ray points through a named procedural scene.
+
+    Mimics one iNGP training batch on the Synthetic-NeRF capture geometry:
+    random pixels of cameras orbiting the object produce world-space rays,
+    each ray's sampling interval is narrowed to the span where the scene's
+    density field is occupied (probed at ``config.probe_samples`` positions),
+    and the ``points_per_ray`` samples are taken uniformly inside that span.
+    World coordinates are mapped to the hash grid's unit cube with the same
+    ``scene_bound`` convention as :class:`repro.scenes.dataset.SyntheticNeRFDataset`.
+    """
+    if config.scene is None:
+        raise ValueError("generate_scene_batch_points requires TraceConfig.scene to be set")
+    # Imported here: workloads must stay importable without the scene stack.
+    from ..scenes.camera import CameraIntrinsics, poses_on_sphere
+    from ..scenes.library import build_scene
+
+    scene = build_scene(config.scene)
+    rng = np.random.default_rng(config.seed)
+
+    # Orbiting training cameras, one random (view, pixel) per ray.
+    num_views = int(max(4, min(16, config.num_rays // 16)))
+    poses = np.stack(poses_on_sphere(num_views, radius=config.camera_radius, elevation_degrees=25.0))
+    image_size = 64  # only sets the pixel lattice the rays pass through
+    intrinsics = CameraIntrinsics.from_fov(image_size, image_size, config.fov_degrees)
+    view = rng.integers(0, num_views, size=config.num_rays)
+    pixels = rng.uniform(0.0, image_size, size=(config.num_rays, 2))
+    cam_dirs = np.stack(
+        [
+            (pixels[:, 0] - image_size / 2.0) / intrinsics.focal,
+            -(pixels[:, 1] - image_size / 2.0) / intrinsics.focal,
+            -np.ones(config.num_rays),
+        ],
+        axis=1,
+    )
+    rotations = poses[view][:, :3, :3]
+    directions = np.einsum("rij,rj->ri", rotations, cam_dirs)
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    origins = poses[view][:, :3, 3]
+
+    # Probe the density field to find each ray's occupied [near, far] span.
+    bound = config.scene_bound
+    diag = bound * np.sqrt(3.0)
+    t_near = max(1e-3, config.camera_radius - diag)
+    t_far = config.camera_radius + diag
+    t_probe = np.linspace(t_near, t_far, config.probe_samples)
+    probes = origins[:, None, :] + t_probe[None, :, None] * directions[:, None, :]
+    occupied = scene.density(probes) > 1e-3
+    hit = occupied.any(axis=1)
+    first = occupied.argmax(axis=1)
+    last = config.probe_samples - 1 - occupied[:, ::-1].argmax(axis=1)
+    dt = t_probe[1] - t_probe[0] if config.probe_samples > 1 else 0.0
+    near = np.where(hit, t_probe[first] - 0.5 * dt, t_near)
+    far = np.where(hit, t_probe[last] + 0.5 * dt, t_far)
+    far = np.maximum(far, near + 1e-3)
+
+    fractions = np.linspace(0.0, 1.0, config.points_per_ray)
+    t = near[:, None] + (far - near)[:, None] * fractions[None, :]
+    world = origins[:, None, :] + t[..., None] * directions[:, None, :]
+    unit = (world + bound) / (2.0 * bound)  # dataset normalize_positions convention
+    return np.clip(unit, 0.0, 1.0)
 
 
 def level_lookup_indices(

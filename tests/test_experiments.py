@@ -39,6 +39,42 @@ def test_experiment_result_helpers():
     assert "demo" in format_series("demo", [1.0, 2.0])
 
 
+def test_experiment_result_column_error_names_available_columns():
+    result = ExperimentResult("Fig. X", "demo", rows=[{"a": 1, "b": 2.5}])
+    with pytest.raises(KeyError) as excinfo:
+        result.column("c")
+    message = str(excinfo.value)
+    assert "'c'" in message and "a, b" in message
+
+
+def test_experiment_result_json_round_trip():
+    result = ExperimentResult(
+        "Fig. X",
+        "demo",
+        rows=[
+            {"a": np.int64(1), "b": np.float64(2.5), "ok": np.bool_(True)},
+            {"a": 3, "b": float("nan"), "ok": False},
+        ],
+        notes="scaled down",
+    )
+    restored = ExperimentResult.from_json(result.to_json())
+    assert restored.experiment_id == result.experiment_id
+    assert restored.description == result.description
+    assert restored.notes == result.notes
+    assert restored.rows[0] == {"a": 1, "b": 2.5, "ok": True}
+    assert restored.rows[1]["a"] == 3 and np.isnan(restored.rows[1]["b"])
+    # Serializing the restored result reproduces the same artifact text.
+    assert restored.to_json() == result.to_json()
+
+
+def test_experiment_result_csv_includes_all_columns():
+    result = ExperimentResult("Fig. X", "demo", rows=[{"a": 1}, {"a": 2, "b": 3}])
+    csv_text = result.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1," and lines[2] == "2,3"
+
+
 def test_fig01_training_time_shape():
     result = run_fig01()
     devices = {row["device"]: row for row in result.rows}
