@@ -42,6 +42,7 @@ from repro.experiments import (
     run_fig09,
     run_fig10,
     run_fig11,
+    run_fig12,
     run_tab01,
     run_tab02,
     run_tab03,
@@ -75,6 +76,7 @@ FAST_NAMES = [
     "fig01", "fig04", "fig06", "fig07", "fig09",
     "fig10", "fig11", "tab01", "tab02", "tab03",
 ]
+CACHE_KB = (16, 64)
 OVERRIDES = {
     "fig07": {"rays": RAYS, "probe_samples": PROBES},
     "fig09": {
@@ -83,6 +85,12 @@ OVERRIDES = {
         "subarrays": ",".join(map(str, SUBARRAYS)),
     },
     "fig11": {"rays": RAYS, "probe_samples": PROBES},
+    "fig12_cache_hit_rate": {
+        "rays": RAYS,
+        "probe_samples": PROBES,
+        "cache_kb": ",".join(map(str, CACHE_KB)),
+        "timing": "false",
+    },
     "tab04": {
         "scenes": "lego",
         "methods": "ingp",
@@ -114,6 +122,7 @@ def _legacy_fast() -> dict:
 def _legacy_full() -> dict:
     results = _legacy_fast()
     results["tab04"] = run_tab04(QualityRunConfig(scenes=("lego",), **PSNR_KW), ("ingp",))
+    results["fig12_cache_hit_rate"] = run_fig12(GRID16, TRACE, CACHE_KB, timing=False)
     return results
 
 
@@ -278,15 +287,15 @@ def test_psnr_sweep_shares_datasets_across_cells():
         assert sweep_best < legacy_best
 
 
-@pytest.mark.parametrize("name", FAST_NAMES + ["tab04"])
+@pytest.mark.parametrize("name", FAST_NAMES + ["tab04", "fig12_cache_hit_rate"])
 def test_every_experiment_runs_through_the_registry(name):
-    """`python -m repro run <spec>` works for each of the eleven experiments."""
+    """`python -m repro run <spec>` works for each registered experiment."""
     from repro.pipeline.cli import main
 
     args = ["run", name, "--quiet"]
     for key, value in OVERRIDES.get(name, {}).items():
         args += ["--set", f"{key}={value}"]
     # Keep the registry path cheap for the heavy specs.
-    if name in ("fig07", "fig09", "fig11"):
+    if name in ("fig07", "fig09", "fig11", "fig12_cache_hit_rate"):
         args += ["--set", "rays=48", "--set", "probe_samples=12"]
     assert main(args) == 0

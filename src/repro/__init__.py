@@ -9,6 +9,9 @@ near-memory processing, reproduced as a pure-Python library:
 * :mod:`repro.nerf`      — NumPy iNGP / NeRF training stack.
 * :mod:`repro.scenes`    — procedural stand-ins for the Synthetic-NeRF scenes.
 * :mod:`repro.dram`      — LPDDR4 bank/subarray DRAM timing & energy model.
+* :mod:`repro.mem`       — on-chip memory hierarchy (scratchpad window,
+                           set-associative SRAM cache, stream prefetcher)
+                           filtering lookup streams before they reach DRAM.
 * :mod:`repro.accel`     — near-bank NMP accelerator model.
 * :mod:`repro.gpu`       — edge/cloud GPU roofline baselines and profiler.
 * :mod:`repro.workloads` — iNGP training-step workload characterisation.

@@ -76,3 +76,39 @@ class ComparisonModel:
     def compare_scenes(self, scene_difficulties: dict[str, float]) -> list[SceneComparison]:
         """All Fig. 11 bars for this GPU baseline."""
         return [self.compare_scene(scene, diff) for scene, diff in scene_difficulties.items()]
+
+    def memory_system_summary(self) -> dict:
+        """Memory-side accounting of the accelerator under comparison.
+
+        Folds in the on-chip hierarchy statistics
+        (:class:`repro.mem.hierarchy.HierarchyStats`) when the accelerator
+        was built with measured ``cache_stats``: hit rates per tier, the
+        fraction of hash-table traffic still reaching DRAM, and the SRAM
+        energy share of one training iteration.
+        """
+        accel = self.accelerator
+        iteration = accel.iteration_cost()
+        summary = {
+            "gpu": self.gpu.name,
+            "dram_peak_gbps": accel.config.dram.organization.peak_bandwidth_gbps,
+            "num_active_banks": accel.config.num_active_banks,
+            "iteration_energy_j": iteration.energy_j,
+            "cache_modelled": accel.cache_stats is not None,
+        }
+        stats = accel.cache_stats
+        if stats is not None:
+            # iteration_cost folds the SRAM lookup energy into both the HT
+            # (forward) and HT_b (backward) steps.
+            sram_j = 2 * accel._hash_sram_energy_j()
+            summary.update(
+                {
+                    "l0_hit_rate": stats.l0_hit_rate,
+                    "cache_hit_rate": stats.cache.hit_rate,
+                    "overall_hit_rate": stats.overall_hit_rate,
+                    "dram_traffic_fraction": stats.dram_traffic_fraction,
+                    "cache_writebacks": stats.cache.writebacks,
+                    "sram_energy_j_per_iteration": sram_j,
+                    "sram_energy_fraction": sram_j / iteration.energy_j if iteration.energy_j else 0.0,
+                }
+            )
+        return summary

@@ -18,7 +18,7 @@ transfer time dictated by the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
+from typing import TYPE_CHECKING
 
 from ..core.parallelism import (
     MovementCategory,
@@ -31,6 +31,9 @@ from ..dram.spec import DRAMSpec, LPDDR4_2400
 from ..workloads.batch import BatchGeometry
 from ..workloads.steps import INGPWorkloadModel, StepName
 from .microarch import BankMicroarchitecture
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.mem depends on accel)
+    from ..mem.hierarchy import HierarchyStats
 
 __all__ = ["AlgorithmLocality", "NMPConfig", "StepCost", "IterationCost", "NMPAccelerator"]
 
@@ -157,6 +160,7 @@ class NMPAccelerator:
         locality: AlgorithmLocality | None = None,
         microarch: BankMicroarchitecture | None = None,
         energy_model: DRAMEnergyModel | None = None,
+        cache_stats: "HierarchyStats | None" = None,
     ):
         self.config = config or NMPConfig()
         self.config.validate()
@@ -166,13 +170,30 @@ class NMPAccelerator:
         self.microarch = microarch or BankMicroarchitecture()
         self.energy_model = energy_model or DRAMEnergyModel()
         self.batch: BatchGeometry = self.workload.batch
+        #: Measured :class:`repro.mem.hierarchy.HierarchyStats` of the SRAM
+        #: cache tier in front of the banks.  When given, only the cache
+        #: misses (plus prefetch fills) of the hash-table streams reach the
+        #: row buffers, and the SRAM lookup energy joins the HT step energy.
+        self.cache_stats = cache_stats
+        if cache_stats is not None and cache_stats.dram_traffic_fraction <= 0:
+            raise ValueError("cache_stats must describe a stream with DRAM traffic fraction > 0")
 
     # ------------------------------------------------------------ hash side
     def _hash_row_accesses_per_iteration(self) -> float:
         """Distinct near-bank row accesses for one iteration of HT lookups."""
         cubes = self.batch.points_per_iteration * self.workload.grid.num_levels
         effective_cubes = cubes / self.locality.cube_sharing_run_length
-        return effective_cubes * self.locality.row_requests_per_cube
+        rows = effective_cubes * self.locality.row_requests_per_cube
+        if self.cache_stats is not None:
+            rows *= self.cache_stats.dram_traffic_fraction
+        return rows
+
+    def _hash_sram_energy_j(self) -> float:
+        """SRAM (scratchpad + cache) energy of one iteration's HT lookups."""
+        if self.cache_stats is None:
+            return 0.0
+        lookups = self.batch.points_per_iteration * self.workload.grid.num_levels * 8
+        return lookups * self.cache_stats.energy_per_access_j
 
     def _row_seconds(self, row_accesses: float, include_write_back: bool = False) -> float:
         cycles_per_access = self.ROW_ACCESS_CYCLES + (self.ROW_WRITE_CYCLES if include_write_back else 0)
@@ -216,7 +237,7 @@ class NMPAccelerator:
             compute_seconds = self.microarch.compute_seconds(
                 fp_ops_interp / cfg.num_active_banks, int_ops_ht / cfg.num_active_banks, cfg.compute_efficiency
             )
-            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht)
+            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht) + self._hash_sram_energy_j()
             activations = rows
         elif step == "HT_b":
             rows = self._hash_row_accesses_per_iteration()
@@ -224,7 +245,7 @@ class NMPAccelerator:
             compute_seconds = self.microarch.compute_seconds(
                 fp_ops_interp / cfg.num_active_banks, int_ops_ht / cfg.num_active_banks, cfg.compute_efficiency
             )
-            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht)
+            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht) + self._hash_sram_energy_j()
             activations = rows
         elif step == "MLP":
             per_bank_flops = mlp_flops / cfg.num_active_banks

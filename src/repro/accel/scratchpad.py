@@ -11,6 +11,10 @@ __all__ = ["Scratchpad"]
 class Scratchpad:
     """A small SRAM buffer between the row-buffer register and the PEs.
 
+    Doubles as the L0 tier of :class:`repro.mem.hierarchy.CacheHierarchy`:
+    its capacity bounds how many lines of the previous point the hierarchy
+    holds on chip before an access is forwarded to the SRAM cache.
+
     Attributes
     ----------
     capacity_bytes:
@@ -28,9 +32,16 @@ class Scratchpad:
     energy_pj_per_byte: float = 0.08
     area_mm2: float = 0.15
 
+    def __post_init__(self) -> None:
+        # Invalid geometries must fail at construction, not when a cost
+        # model eventually divides by them.
+        self.validate()
+
     def validate(self) -> None:
         if self.capacity_bytes <= 0 or self.bytes_per_cycle <= 0:
             raise ValueError("capacity_bytes and bytes_per_cycle must be positive")
+        if self.energy_pj_per_byte < 0 or self.area_mm2 < 0:
+            raise ValueError("energy_pj_per_byte and area_mm2 must be non-negative")
 
     def fits(self, working_set_bytes: int) -> bool:
         """Whether a working set fits without spilling to DRAM."""

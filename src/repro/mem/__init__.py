@@ -1,0 +1,61 @@
+"""On-chip memory-hierarchy simulator: SRAM cache, prefetcher, tier stack.
+
+The hash-grid locality the paper exploits (Fig. 6/7) only pays off if the
+memory system can turn reuse into serviced-request reductions; this package
+models the on-chip tiers that do so, between the corner-index streams of
+:mod:`repro.core.streaming` and the DRAM timing model of :mod:`repro.dram`:
+
+* :mod:`repro.mem.cache`     — vectorized set-associative LRU cache
+  (write-back dirty accounting, MSHR miss coalescing) + per-access oracle.
+* :mod:`repro.mem.prefetch`  — next-line / stride stream prefetcher.
+* :mod:`repro.mem.hierarchy` — :class:`CacheHierarchy` composing the
+  scratchpad L0 window, the prefetcher and the L1 cache; its
+  ``filter_stream`` output is what :class:`repro.dram.system.DRAMSystem`
+  still has to service.
+"""
+
+from .cache import (
+    COALESCED,
+    HIT,
+    MISS,
+    PREFETCH_FILL,
+    PREFETCH_REDUNDANT,
+    CacheConfig,
+    CacheStats,
+    simulate_cache,
+    simulate_cache_reference,
+)
+from .hierarchy import (
+    CacheHierarchy,
+    FilteredStream,
+    HierarchyStats,
+    scratchpad_filter,
+    scratchpad_filter_reference,
+)
+from .prefetch import (
+    PREFETCH_POLICIES,
+    PrefetcherConfig,
+    plan_prefetches,
+    plan_prefetches_reference,
+)
+
+__all__ = [
+    "MISS",
+    "HIT",
+    "COALESCED",
+    "PREFETCH_FILL",
+    "PREFETCH_REDUNDANT",
+    "CacheConfig",
+    "CacheStats",
+    "simulate_cache",
+    "simulate_cache_reference",
+    "PREFETCH_POLICIES",
+    "PrefetcherConfig",
+    "plan_prefetches",
+    "plan_prefetches_reference",
+    "CacheHierarchy",
+    "FilteredStream",
+    "HierarchyStats",
+    "scratchpad_filter",
+    "scratchpad_filter_reference",
+]

@@ -1,0 +1,407 @@
+"""Vectorized set-associative SRAM cache model (LRU, write-back, MSHR).
+
+The cache sits between the hash-grid lookup streams and the DRAM timing
+model (:mod:`repro.mem.hierarchy` wires the full tier stack): it receives a
+stream of line-granular accesses and decides, exactly and deterministically,
+which of them are serviced on chip and which must fetch a line from DRAM.
+
+Model semantics (shared by the vectorized engine and the per-access oracle):
+
+* ``num_sets = capacity_bytes / (line_bytes * ways)`` sets, set index is
+  ``line_id % num_sets``, tag is ``line_id // num_sets``.
+* LRU replacement with invalid ways filled first (lowest way index wins
+  ties), last-use order given by the access's stream position.
+* Write-back / write-allocate: a write marks the line dirty; evicting a
+  dirty line costs one DRAM writeback (dirty-line accounting).
+* MSHR-style duplicate-miss coalescing: a missed line stays "in flight"
+  for the next ``mshr_latency`` stream slots; accesses that touch an
+  in-flight line are coalesced into the outstanding fill — they are neither
+  hits nor new DRAM requests.
+* Prefetch accesses (flagged by the caller, see :mod:`repro.mem.prefetch`)
+  allocate missing lines (one DRAM fetch each) but are dropped without any
+  state change when the line is already present; a later demand touch of a
+  prefetched line counts it as a useful prefetch.
+
+The vectorized engine processes whole streams as NumPy arrays in two
+segmented passes (the style of the PR 1 hot-path engines): consecutive
+same-line accesses within a set collapse into one run (only run heads can
+change tag state), and the surviving run heads are swept in "waves" — the
+t-th access of every set is processed in one vector step, which is exact
+because sets are independent and each set contributes at most one access
+per wave.  :func:`simulate_cache_reference` is the retained per-access
+oracle the engine is equivalence-tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MISS",
+    "HIT",
+    "COALESCED",
+    "PREFETCH_FILL",
+    "PREFETCH_REDUNDANT",
+    "CacheConfig",
+    "CacheStats",
+    "simulate_cache",
+    "simulate_cache_reference",
+]
+
+#: Per-access outcome codes shared by the engine and the oracle.
+MISS = 0                #: demand access, line absent: one DRAM line fetch
+HIT = 1                 #: demand access serviced by the cache
+COALESCED = 2           #: demand access merged into an in-flight MSHR fill
+PREFETCH_FILL = 3       #: prefetch access that fetched a new line from DRAM
+PREFETCH_REDUNDANT = 4  #: prefetch access dropped (line already present)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry, policy knobs and access energies of one SRAM cache tier.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total data capacity.
+    line_bytes:
+        Cache-line size (power of two; also the DRAM fetch granularity).
+    ways:
+        Associativity.  ``capacity_bytes // (line_bytes * ways)`` sets must
+        come out whole; one set makes the cache fully associative.
+    mshr_latency:
+        Stream slots a missed line stays in flight (0 disables coalescing).
+    access_energy_pj:
+        Tag + data array energy of one lookup.
+    fill_energy_pj_per_byte:
+        Energy of moving one byte on a line fill or writeback.
+    """
+
+    capacity_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    ways: int = 4
+    mshr_latency: int = 0
+    access_energy_pj: float = 1.2
+    fill_energy_pj_per_byte: float = 0.08
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line_bytes must be a positive power of two, got {self.line_bytes}")
+        if self.ways <= 0:
+            raise ValueError(f"ways must be positive, got {self.ways}")
+        if self.capacity_bytes <= 0 or self.capacity_bytes % (self.line_bytes * self.ways):
+            raise ValueError(
+                f"capacity_bytes ({self.capacity_bytes}) must be a positive multiple of "
+                f"line_bytes * ways ({self.line_bytes * self.ways})"
+            )
+        if self.mshr_latency < 0:
+            raise ValueError(f"mshr_latency must be non-negative, got {self.mshr_latency}")
+        if self.access_energy_pj < 0 or self.fill_energy_pj_per_byte < 0:
+            raise ValueError("access energies must be non-negative")
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @classmethod
+    def fully_associative(cls, capacity_bytes: int, line_bytes: int = 64, **kwargs) -> "CacheConfig":
+        """A single-set cache whose associativity equals its line count."""
+        return cls(
+            capacity_bytes=capacity_bytes,
+            line_bytes=line_bytes,
+            ways=max(1, capacity_bytes // line_bytes),
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Exact outcome counts of one simulated stream."""
+
+    demand_accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    prefetch_issued: int = 0
+    prefetch_fills: int = 0
+    prefetch_redundant: int = 0
+    prefetch_useful: int = 0
+    writebacks: int = 0
+    dirty_lines_left: int = 0
+    line_bytes: int = 64
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hits per demand access (coalesced accesses are not hits)."""
+        return self.hits / self.demand_accesses if self.demand_accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.demand_accesses if self.demand_accesses else 0.0
+
+    @property
+    def dram_line_fetches(self) -> int:
+        """Lines read from DRAM: demand misses plus prefetch fills."""
+        return self.misses + self.prefetch_fills
+
+    @property
+    def dram_read_bytes(self) -> int:
+        return self.dram_line_fetches * self.line_bytes
+
+    @property
+    def dram_writeback_bytes(self) -> int:
+        return self.writebacks * self.line_bytes
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_writeback_bytes
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched lines later touched by a demand access."""
+        return self.prefetch_useful / self.prefetch_fills if self.prefetch_fills else 0.0
+
+    def energy_j(self, config: CacheConfig) -> float:
+        """SRAM access + fill/writeback movement energy of the stream."""
+        lookups = self.demand_accesses + self.prefetch_issued
+        moved = (self.dram_line_fetches + self.writebacks) * self.line_bytes
+        return (lookups * config.access_energy_pj + moved * config.fill_energy_pj_per_byte) * 1e-12
+
+
+def _as_flags(flags: np.ndarray | None, n: int, name: str) -> np.ndarray:
+    if flags is None:
+        return np.zeros(n, dtype=bool)
+    out = np.asarray(flags, dtype=bool).ravel()
+    if out.size != n:
+        raise ValueError(f"{name} must have one entry per access ({n}), got {out.size}")
+    return out
+
+
+def _build_stats(
+    outcomes: np.ndarray, writebacks: int, useful: int, dirty_left: int, config: CacheConfig
+) -> CacheStats:
+    counts = np.bincount(outcomes, minlength=5)
+    return CacheStats(
+        demand_accesses=int(counts[MISS] + counts[HIT] + counts[COALESCED]),
+        hits=int(counts[HIT]),
+        misses=int(counts[MISS]),
+        coalesced=int(counts[COALESCED]),
+        prefetch_issued=int(counts[PREFETCH_FILL] + counts[PREFETCH_REDUNDANT]),
+        prefetch_fills=int(counts[PREFETCH_FILL]),
+        prefetch_redundant=int(counts[PREFETCH_REDUNDANT]),
+        prefetch_useful=useful,
+        writebacks=writebacks,
+        dirty_lines_left=dirty_left,
+        line_bytes=config.line_bytes,
+    )
+
+
+def simulate_cache(
+    line_ids: np.ndarray,
+    config: CacheConfig,
+    is_write: np.ndarray | None = None,
+    is_prefetch: np.ndarray | None = None,
+) -> tuple[np.ndarray, CacheStats]:
+    """Simulate a line-access stream; returns per-access outcomes and stats.
+
+    Parameters
+    ----------
+    line_ids:
+        Flat integer array of line addresses (byte address // line size) in
+        stream order.
+    config:
+        Cache geometry and policy.
+    is_write / is_prefetch:
+        Optional per-access flags (default all-reads, all-demand).
+
+    Returns
+    -------
+    (outcomes, stats):
+        ``outcomes`` holds one of the module's outcome codes per access;
+        ``stats`` the aggregate :class:`CacheStats`.  Exactly equivalent to
+        :func:`simulate_cache_reference`.
+    """
+    lines = np.asarray(line_ids, dtype=np.int64).ravel()
+    n = lines.size
+    outcomes = np.empty(n, dtype=np.int8)
+    if n == 0:
+        return outcomes, _build_stats(outcomes, 0, 0, 0, config)
+    if np.any(lines < 0):
+        raise ValueError("line ids must be non-negative")
+    writes = _as_flags(is_write, n, "is_write")
+    prefetches = _as_flags(is_prefetch, n, "is_prefetch")
+    num_sets, ways, mshr = config.num_sets, config.ways, config.mshr_latency
+
+    sets = lines % num_sets
+    tags = lines // num_sets
+
+    # Pass 1 — group accesses by set, keeping stream order inside each set.
+    by_set = np.argsort(sets, kind="stable")
+    s_sorted, t_sorted = sets[by_set], tags[by_set]
+    p_sorted = by_set.astype(np.int64)  # original stream position = LRU clock
+    w_sorted, f_sorted = writes[by_set], prefetches[by_set]
+
+    # Pass 2 — collapse consecutive same-line accesses within a set into
+    # runs: only the head can change tag state; members are hits (or MSHR
+    # coalesces, resolved from the head's fill window afterwards).  Prefetch
+    # accesses never merge: a dropped prefetch must not refresh LRU state.
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    head[1:] = (
+        (s_sorted[1:] != s_sorted[:-1])
+        | (t_sorted[1:] != t_sorted[:-1])
+        | f_sorted[1:]
+        | f_sorted[:-1]
+    )
+    head_idx = np.flatnonzero(head)
+    run_id = np.cumsum(head) - 1
+    num_runs = head_idx.size
+    run_end = np.append(head_idx[1:], n) - 1
+    run_write = np.logical_or.reduceat(w_sorted, head_idx)
+    run_last_p = p_sorted[run_end]  # stream position of the run's last member
+
+    s_h, t_h, p_h = s_sorted[head_idx], t_sorted[head_idx], p_sorted[head_idx]
+    f_h = f_sorted[head_idx]
+
+    # Pass 3 — wave schedule: sort run heads by their within-set ordinal, so
+    # wave t (one contiguous slice) holds the t-th surviving access of every
+    # set.  Sets are independent and appear at most once per wave, so each
+    # wave is one race-free vector step.
+    set_start = np.empty(num_runs, dtype=bool)
+    set_start[0] = True
+    set_start[1:] = s_h[1:] != s_h[:-1]
+    starts = np.flatnonzero(set_start)
+    per_set = np.diff(np.append(starts, num_runs))
+    ordinal = np.arange(num_runs) - np.repeat(starts, per_set)
+    by_wave = np.argsort(ordinal, kind="stable")
+    s_g, t_g, p_g = s_h[by_wave], t_h[by_wave], p_h[by_wave]
+    w_g, f_g, lp_g = run_write[by_wave], f_h[by_wave], run_last_p[by_wave]
+    wave_sizes = np.bincount(ordinal)
+    bounds = np.append(0, np.cumsum(wave_sizes))
+
+    tag_state = np.zeros((num_sets, ways), dtype=np.int64)
+    last_used = np.full((num_sets, ways), -1, dtype=np.int64)  # -1 = invalid way
+    dirty = np.zeros((num_sets, ways), dtype=bool)
+    fill_done = np.zeros((num_sets, ways), dtype=np.int64)
+    prefetched = np.zeros((num_sets, ways), dtype=bool)
+    head_out = np.empty(num_runs, dtype=np.int8)
+    head_fd = np.empty(num_runs, dtype=np.int64)
+    writebacks = 0
+    useful = 0
+
+    for wave in range(wave_sizes.size):
+        lo, hi = bounds[wave], bounds[wave + 1]
+        s, t, p = s_g[lo:hi], t_g[lo:hi], p_g[lo:hi]
+        wr, pf, lp = w_g[lo:hi], f_g[lo:hi], lp_g[lo:hi]
+        match = (tag_state[s] == t[:, None]) & (last_used[s] >= 0)
+        present = match.any(axis=1)
+        way = np.argmax(match, axis=1)
+        fd = fill_done[s, way]
+        inflight = present & (p < fd)
+        out = np.where(
+            pf,
+            np.where(present, PREFETCH_REDUNDANT, PREFETCH_FILL),
+            np.where(present, np.where(inflight, COALESCED, HIT), MISS),
+        ).astype(np.int8)
+
+        touch = present & ~pf  # demand touch: refresh LRU, absorb writes
+        st, wt = s[touch], way[touch]
+        last_used[st, wt] = lp[touch]
+        dirty[st, wt] |= wr[touch]
+        was_prefetched = touch & prefetched[s, way]
+        useful += int(was_prefetched.sum())
+        prefetched[s[was_prefetched], way[was_prefetched]] = False
+
+        absent = ~present
+        sm = s[absent]
+        if sm.size:
+            victim = np.argmin(last_used[sm], axis=1)  # invalid (-1) ways first
+            writebacks += int(((last_used[sm, victim] >= 0) & dirty[sm, victim]).sum())
+            tag_state[sm, victim] = t[absent]
+            last_used[sm, victim] = lp[absent]
+            dirty[sm, victim] = wr[absent] & ~pf[absent]  # prefetch fills start clean
+            new_fd = p[absent] + 1 + mshr
+            fill_done[sm, victim] = new_fd
+            prefetched[sm, victim] = pf[absent]
+            fd = fd.copy()
+            fd[absent] = new_fd
+        head_out[by_wave[lo:hi]] = out
+        head_fd[by_wave[lo:hi]] = fd
+
+    outcomes[p_h] = head_out
+    members = ~head
+    if members.any():
+        m_p = p_sorted[members]
+        m_fd = head_fd[run_id[members]]
+        outcomes[m_p] = np.where(m_p < m_fd, COALESCED, HIT).astype(np.int8)
+    dirty_left = int((dirty & (last_used >= 0)).sum())
+    return outcomes, _build_stats(outcomes, writebacks, useful, dirty_left, config)
+
+
+def simulate_cache_reference(
+    line_ids: np.ndarray,
+    config: CacheConfig,
+    is_write: np.ndarray | None = None,
+    is_prefetch: np.ndarray | None = None,
+) -> tuple[np.ndarray, CacheStats]:
+    """Per-access loop oracle for :func:`simulate_cache`.
+
+    One plain-Python state machine step per access; kept as the reference
+    implementation the vectorized engine is tested against — do not use on
+    paper-scale streams.
+    """
+    lines = np.asarray(line_ids, dtype=np.int64).ravel()
+    n = lines.size
+    outcomes = np.empty(n, dtype=np.int8)
+    if n and np.any(lines < 0):
+        raise ValueError("line ids must be non-negative")
+    writes = _as_flags(is_write, n, "is_write")
+    prefetches = _as_flags(is_prefetch, n, "is_prefetch")
+    num_sets, ways, mshr = config.num_sets, config.ways, config.mshr_latency
+
+    # Per set, per way: [tag, last_used, dirty, fill_done, prefetched]
+    state: dict[int, list[list]] = {}
+    writebacks = 0
+    useful = 0
+    for p in range(n):
+        line = int(lines[p])
+        s, tag = line % num_sets, line // num_sets
+        ways_state = state.setdefault(s, [[0, -1, False, 0, False] for _ in range(ways)])
+        way = next(
+            (w for w in range(ways) if ways_state[w][1] >= 0 and ways_state[w][0] == tag), None
+        )
+        if prefetches[p]:
+            if way is None:
+                victim = min(range(ways), key=lambda w: (ways_state[w][1], w))
+                if ways_state[victim][1] >= 0 and ways_state[victim][2]:
+                    writebacks += 1
+                ways_state[victim][:] = [tag, p, False, p + 1 + mshr, True]
+                outcomes[p] = PREFETCH_FILL
+            else:
+                outcomes[p] = PREFETCH_REDUNDANT
+        elif way is not None:
+            outcomes[p] = COALESCED if p < ways_state[way][3] else HIT
+            ways_state[way][1] = p
+            ways_state[way][2] = ways_state[way][2] or bool(writes[p])
+            if ways_state[way][4]:
+                useful += 1
+                ways_state[way][4] = False
+        else:
+            victim = min(range(ways), key=lambda w: (ways_state[w][1], w))
+            if ways_state[victim][1] >= 0 and ways_state[victim][2]:
+                writebacks += 1
+            ways_state[victim][:] = [tag, p, bool(writes[p]), p + 1 + mshr, False]
+            outcomes[p] = MISS
+    dirty_left = sum(
+        1 for ways_state in state.values() for w in ways_state if w[1] >= 0 and w[2]
+    )
+    return outcomes, _build_stats(outcomes, writebacks, useful, dirty_left, config)

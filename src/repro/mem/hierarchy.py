@@ -1,0 +1,283 @@
+"""On-chip memory hierarchy between hash-grid lookup streams and DRAM.
+
+:class:`CacheHierarchy` composes the tiers the accelerator puts in front of
+the DRAM banks:
+
+* **L0 — scratchpad**: the per-bank :class:`repro.accel.scratchpad.Scratchpad`
+  stages the lines of the point currently being interpolated.  An access
+  whose line was already touched earlier in the same point, or held from the
+  immediately preceding point, never leaves the scratchpad — this is the
+  register/scratchpad reuse window of the microarchitecture (the same
+  semantics the Fig. 7 locality statistics measure), bounded by the
+  scratchpad capacity.
+* **L1 — SRAM cache**: the set-associative write-back cache of
+  :mod:`repro.mem.cache`, optionally fed by the stream prefetcher of
+  :mod:`repro.mem.prefetch`.
+* **DRAM**: only L1 misses (plus prefetch fills and dirty writebacks)
+  leave the chip; :meth:`CacheHierarchy.filter_stream` returns the
+  surviving line addresses so :meth:`repro.dram.system.DRAMSystem.service_batch`
+  services exactly the filtered traffic.
+
+Every stage has a vectorized whole-stream engine and a retained per-access
+reference oracle (:meth:`CacheHierarchy.filter_stream_reference`), and the
+two are exactly equivalent on any input stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accel.scratchpad import Scratchpad
+from .cache import MISS, PREFETCH_FILL, CacheConfig, CacheStats, simulate_cache, simulate_cache_reference
+from .prefetch import PrefetcherConfig, plan_prefetches, plan_prefetches_reference
+
+__all__ = [
+    "scratchpad_filter",
+    "scratchpad_filter_reference",
+    "HierarchyStats",
+    "FilteredStream",
+    "CacheHierarchy",
+]
+
+
+def scratchpad_filter(lines: np.ndarray, capacity_lines: int) -> np.ndarray:
+    """Mask of accesses that miss the L0 scratchpad window, shape ``(N, P)``.
+
+    ``lines`` holds the line id of each of the ``P`` lookups of ``N``
+    consecutive points in stream order.  An access is filtered (``False``)
+    when its line already appeared earlier within the same point, or is
+    among the first ``capacity_lines`` distinct lines of the previous point
+    (the lines the scratchpad still holds).  Equivalent to
+    :func:`scratchpad_filter_reference`.
+    """
+    if capacity_lines <= 0:
+        raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
+    lines = np.asarray(lines, dtype=np.int64)
+    if lines.ndim != 2:
+        raise ValueError(f"lines must have shape (N, P), got {lines.shape}")
+    n, p = lines.shape
+    if n == 0:
+        return np.zeros((0, p), dtype=bool)
+    first = np.ones((n, p), dtype=bool)
+    for j in range(1, p):
+        duplicate = np.zeros(n, dtype=bool)
+        for k in range(j):
+            duplicate |= lines[:, j] == lines[:, k]
+        first[:, j] = ~duplicate
+    rank = np.cumsum(first, axis=1) - 1
+    held_eligible = first & (rank < capacity_lines)
+    held = np.zeros((n, p), dtype=bool)
+    for k in range(p):
+        held[1:] |= (lines[1:] == lines[:-1, k : k + 1]) & held_eligible[:-1, k : k + 1]
+    return first & ~held
+
+
+def scratchpad_filter_reference(lines: np.ndarray, capacity_lines: int) -> np.ndarray:
+    """Per-point loop oracle for :func:`scratchpad_filter`."""
+    if capacity_lines <= 0:
+        raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
+    lines = np.asarray(lines, dtype=np.int64)
+    n, p = lines.shape
+    emit = np.zeros((n, p), dtype=bool)
+    held: set[int] = set()
+    for i in range(n):
+        distinct: list[int] = []
+        for j in range(p):
+            line = int(lines[i, j])
+            if line not in distinct:
+                if line not in held:
+                    emit[i, j] = True
+                distinct.append(line)
+        held = set(distinct[:capacity_lines])
+    return emit
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Aggregate hit/miss/energy accounting of one filtered stream."""
+
+    num_points: int
+    accesses_per_point: int
+    l0_accesses: int
+    l0_hits: int
+    cache: CacheStats
+    line_bytes: int
+    l0_energy_j: float = 0.0
+    cache_energy_j: float = 0.0
+
+    @property
+    def l0_hit_rate(self) -> float:
+        return self.l0_hits / self.l0_accesses if self.l0_accesses else 0.0
+
+    @property
+    def demand_lines(self) -> int:
+        """Line requests surviving L0 — the uncached-baseline DRAM traffic."""
+        return self.cache.demand_accesses
+
+    @property
+    def dram_line_fetches(self) -> int:
+        return self.cache.dram_line_fetches
+
+    @property
+    def dram_traffic_fraction(self) -> float:
+        """DRAM line fetches per uncached-baseline line request (<= ~1)."""
+        if self.demand_lines == 0:
+            return 1.0
+        return self.dram_line_fetches / self.demand_lines
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Uncached-baseline requests per serviced DRAM fetch (>= 1 is a win)."""
+        if self.dram_line_fetches == 0:
+            return float("inf") if self.demand_lines else 1.0
+        return self.demand_lines / self.dram_line_fetches
+
+    @property
+    def overall_hit_rate(self) -> float:
+        """Fraction of raw lookups serviced on chip (L0 or L1)."""
+        if not self.l0_accesses:
+            return 0.0
+        return (self.l0_hits + self.cache.hits + self.cache.coalesced) / self.l0_accesses
+
+    @property
+    def sram_energy_j(self) -> float:
+        return self.l0_energy_j + self.cache_energy_j
+
+    @property
+    def energy_per_access_j(self) -> float:
+        return self.sram_energy_j / self.l0_accesses if self.l0_accesses else 0.0
+
+
+@dataclass(frozen=True)
+class FilteredStream:
+    """Result of pushing one lookup stream through the hierarchy."""
+
+    line_bytes: int
+    #: L0-surviving demand line ids, in stream order (the L1 input).
+    demand_lines: np.ndarray = field(repr=False)
+    #: Demand + injected prefetch accesses, and the per-access flags/outcomes.
+    merged_lines: np.ndarray = field(repr=False)
+    is_prefetch: np.ndarray = field(repr=False)
+    outcomes: np.ndarray = field(repr=False)
+    #: Line ids fetched from DRAM (demand misses + prefetch fills), stream order.
+    dram_lines: np.ndarray = field(repr=False)
+    stats: HierarchyStats = None
+
+    @property
+    def demand_addresses(self) -> np.ndarray:
+        """Byte addresses of the uncached-baseline DRAM requests."""
+        return self.demand_lines * self.line_bytes
+
+    @property
+    def dram_addresses(self) -> np.ndarray:
+        """Byte addresses of the lines that must actually be fetched."""
+        return self.dram_lines * self.line_bytes
+
+
+class CacheHierarchy:
+    """Scratchpad (L0) + SRAM cache (L1) + prefetcher in front of DRAM."""
+
+    def __init__(
+        self,
+        cache: CacheConfig | None = None,
+        prefetcher: PrefetcherConfig | None = None,
+        scratchpad: Scratchpad | None = None,
+    ):
+        self.cache = cache or CacheConfig()
+        self.prefetcher = prefetcher or PrefetcherConfig()
+        self.scratchpad = scratchpad or Scratchpad()
+        self.capacity_lines = max(1, self.scratchpad.capacity_bytes // self.cache.line_bytes)
+
+    # ----------------------------------------------------------- simulation
+    def _prepare(self, addresses: np.ndarray, accesses_per_point: int) -> np.ndarray:
+        addr = np.asarray(addresses, dtype=np.int64).ravel()
+        if accesses_per_point <= 0:
+            raise ValueError("accesses_per_point must be positive")
+        if addr.size % accesses_per_point:
+            raise ValueError(
+                f"stream length {addr.size} is not a multiple of "
+                f"accesses_per_point={accesses_per_point}"
+            )
+        if addr.size and np.any(addr < 0):
+            raise ValueError("addresses must be non-negative")
+        return (addr // self.cache.line_bytes).reshape(-1, accesses_per_point)
+
+    def _assemble(
+        self,
+        lines: np.ndarray,
+        emit: np.ndarray,
+        merged: np.ndarray,
+        is_prefetch: np.ndarray,
+        outcomes: np.ndarray,
+        cache_stats: CacheStats,
+        entry_bytes: int,
+    ) -> FilteredStream:
+        num_points, per_point = lines.shape
+        l0_accesses = int(lines.size)
+        demand = lines[emit]
+        dram = merged[(outcomes == MISS) | (outcomes == PREFETCH_FILL)]
+        l0_energy = self.scratchpad.access_energy_j(
+            l0_accesses * entry_bytes + demand.size * self.cache.line_bytes
+        )
+        stats = HierarchyStats(
+            num_points=num_points,
+            accesses_per_point=per_point,
+            l0_accesses=l0_accesses,
+            l0_hits=l0_accesses - int(demand.size),
+            cache=cache_stats,
+            line_bytes=self.cache.line_bytes,
+            l0_energy_j=l0_energy,
+            cache_energy_j=cache_stats.energy_j(self.cache),
+        )
+        return FilteredStream(
+            line_bytes=self.cache.line_bytes,
+            demand_lines=demand,
+            merged_lines=merged,
+            is_prefetch=is_prefetch,
+            outcomes=outcomes,
+            dram_lines=dram,
+            stats=stats,
+        )
+
+    def filter_stream(
+        self,
+        addresses: np.ndarray,
+        accesses_per_point: int = 8,
+        writes: bool = False,
+        entry_bytes: int = 4,
+    ) -> FilteredStream:
+        """Push a lookup byte-address stream through L0 + prefetcher + L1.
+
+        ``addresses`` is the flat stream of ``accesses_per_point`` lookups
+        per point (the layout of
+        :func:`repro.workloads.traces.lookup_addresses`); ``writes`` models
+        the gradient-scatter direction (every demand access writes its
+        line); ``entry_bytes`` only scales the scratchpad read energy.
+        Returns the :class:`FilteredStream` whose ``dram_addresses`` are the
+        only requests the DRAM system still has to service.
+        """
+        lines = self._prepare(addresses, accesses_per_point)
+        emit = scratchpad_filter(lines, self.capacity_lines)
+        demand = lines[emit]
+        merged, is_prefetch = plan_prefetches(demand, self.prefetcher)
+        is_write = ~is_prefetch if writes else None
+        outcomes, cache_stats = simulate_cache(merged, self.cache, is_write, is_prefetch)
+        return self._assemble(lines, emit, merged, is_prefetch, outcomes, cache_stats, entry_bytes)
+
+    def filter_stream_reference(
+        self,
+        addresses: np.ndarray,
+        accesses_per_point: int = 8,
+        writes: bool = False,
+        entry_bytes: int = 4,
+    ) -> FilteredStream:
+        """Per-access oracle composition for :meth:`filter_stream`."""
+        lines = self._prepare(addresses, accesses_per_point)
+        emit = scratchpad_filter_reference(lines, self.capacity_lines)
+        demand = lines[emit]
+        merged, is_prefetch = plan_prefetches_reference(demand, self.prefetcher)
+        is_write = ~is_prefetch if writes else None
+        outcomes, cache_stats = simulate_cache_reference(merged, self.cache, is_write, is_prefetch)
+        return self._assemble(lines, emit, merged, is_prefetch, outcomes, cache_stats, entry_bytes)

@@ -1,0 +1,135 @@
+"""Next-line / stride stream prefetcher for the SRAM cache tier.
+
+The prefetcher watches the demand line stream (after the scratchpad L0
+filter, before the cache) and injects prefetch accesses for the lines it
+predicts.  Because the prediction state is a pure function of the demand
+stream, the whole plan is computed vectorized up front and merged into one
+interleaved stream — each prefetch lands immediately after the demand
+access that triggered it — which :func:`repro.mem.cache.simulate_cache`
+then services with its ``is_prefetch`` flags.
+
+Policies
+--------
+``none``
+    No prefetching; the demand stream passes through unchanged.
+``next_line``
+    Every demand access that moves to a new line prefetches the following
+    ``degree`` lines (sequential streams, e.g. dense coarse levels).
+``stride``
+    A stride is confirmed when two consecutive line deltas agree (and are
+    non-zero); the confirmed stride is projected ``degree`` lines ahead.
+    Degenerates to next-line behaviour on unit-stride streams.
+
+:func:`plan_prefetches_reference` is the retained per-access oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PREFETCH_POLICIES", "PrefetcherConfig", "plan_prefetches", "plan_prefetches_reference"]
+
+PREFETCH_POLICIES = ("none", "next_line", "stride")
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Policy and aggressiveness of the stream prefetcher."""
+
+    policy: str = "none"
+    degree: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.policy not in PREFETCH_POLICIES:
+            raise ValueError(
+                f"unknown prefetch policy {self.policy!r}; available: {', '.join(PREFETCH_POLICIES)}"
+            )
+        if self.degree <= 0:
+            raise ValueError(f"degree must be positive, got {self.degree}")
+
+
+def plan_prefetches(
+    line_ids: np.ndarray, config: PrefetcherConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge prefetch accesses into a demand line stream.
+
+    Returns ``(merged_line_ids, is_prefetch)`` with every prefetch access
+    placed directly after its triggering demand access.  Prefetch targets
+    below line 0 are clamped out (not issued).  Exactly equivalent to
+    :func:`plan_prefetches_reference`.
+    """
+    demand = np.asarray(line_ids, dtype=np.int64).ravel()
+    n = demand.size
+    if config.policy == "none" or n == 0:
+        return demand.copy(), np.zeros(n, dtype=bool)
+
+    moved = np.empty(n, dtype=bool)  # access switches to a new line
+    moved[0] = True
+    moved[1:] = demand[1:] != demand[:-1]
+    if config.policy == "next_line":
+        trigger = moved
+        stride = np.ones(n, dtype=np.int64)
+    else:  # stride: confirmed when two consecutive moves repeat one delta
+        unique_idx = np.flatnonzero(moved)
+        unique = demand[unique_idx]
+        deltas = np.diff(unique)
+        confirmed = np.zeros(unique.size, dtype=bool)
+        confirmed[2:] = deltas[1:] == deltas[:-1]
+        trigger = np.zeros(n, dtype=bool)
+        trigger[unique_idx[confirmed]] = True
+        stride = np.zeros(n, dtype=np.int64)
+        stride[unique_idx[1:]] = deltas
+
+    degree = config.degree
+    counts = 1 + degree * trigger.astype(np.int64)
+    offsets = np.cumsum(counts) - counts
+    total = int(counts.sum())
+    merged = np.empty(total, dtype=np.int64)
+    is_prefetch = np.zeros(total, dtype=bool)
+    merged[offsets] = demand
+    fire = np.flatnonzero(trigger)
+    for k in range(1, degree + 1):
+        slot = offsets[fire] + k
+        merged[slot] = demand[fire] + stride[fire] * k
+        is_prefetch[slot] = True
+    if is_prefetch.any():
+        keep = ~(is_prefetch & (merged < 0))  # negative targets are not issued
+        merged, is_prefetch = merged[keep], is_prefetch[keep]
+    return merged, is_prefetch
+
+
+def plan_prefetches_reference(
+    line_ids: np.ndarray, config: PrefetcherConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-access state-machine oracle for :func:`plan_prefetches`."""
+    demand = np.asarray(line_ids, dtype=np.int64).ravel()
+    merged: list[int] = []
+    flags: list[bool] = []
+    last_line: int | None = None
+    last_delta: int | None = None
+    for raw in demand:
+        line = int(raw)
+        merged.append(line)
+        flags.append(False)
+        targets: list[int] = []
+        if config.policy == "next_line":
+            if line != last_line:
+                targets = [line + k for k in range(1, config.degree + 1)]
+        elif config.policy == "stride":
+            if last_line is not None and line != last_line:
+                delta = line - last_line
+                if delta == last_delta:
+                    targets = [line + delta * k for k in range(1, config.degree + 1)]
+                last_delta = delta
+        for target in targets:
+            if target >= 0:
+                merged.append(target)
+                flags.append(True)
+        if line != last_line:
+            last_line = line
+    return np.asarray(merged, dtype=np.int64), np.asarray(flags, dtype=bool)

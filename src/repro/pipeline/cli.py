@@ -112,6 +112,13 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
     p_run.add_argument(
         "--formats", default="json,csv", help="comma list of artifact formats (json,csv,text)"
     )
+    p_run.add_argument(
+        "--format",
+        dest="formats",
+        choices=("json", "csv", "text"),
+        default=argparse.SUPPRESS,
+        help="write a single artifact format (alias of --formats)",
+    )
     p_run.add_argument("--quiet", action="store_true", help="suppress the table printout")
     p_run.add_argument(
         "--set",
@@ -150,6 +157,13 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
     p_report.add_argument("--out", default=None, help="artifact output directory")
     p_report.add_argument(
         "--formats", default="json,csv", help="comma list of artifact formats (json,csv,text)"
+    )
+    p_report.add_argument(
+        "--format",
+        dest="formats",
+        choices=("json", "csv", "text"),
+        default=argparse.SUPPRESS,
+        help="write a single artifact format (alias of --formats)",
     )
     p_report.add_argument("--quiet", action="store_true", help="suppress the table printouts")
     p_report.add_argument(

@@ -3,9 +3,9 @@
 Every experiment in the registry runs against a :class:`SimulationContext`.
 The context memoizes the artifacts that are expensive to build and shared
 between experiments and sweep cells — generated point/lookup traces, per-level
-corner-index streams, locality statistics, rendered datasets, trained fields,
-GPU profiles and serviced DRAM batches — keyed by a canonical hash of the
-configuration objects that produced them.  Running the full experiment suite
+corner-index streams, locality statistics, cache-filtered request streams,
+rendered datasets, trained fields, GPU profiles and serviced DRAM batches —
+keyed by a canonical hash of the configuration objects that produced them.  Running the full experiment suite
 (or a parameter sweep) through one context therefore computes each artifact
 once, where the legacy ``run_*`` entry points rebuild them from scratch on
 every call.
@@ -421,6 +421,110 @@ class SimulationContext:
             return GPUProfiler.for_gpu(gpu).profile_step(step)
 
         return self.memoize(("step_profile", gpu.name, step.value), compute)
+
+    # ------------------------------------------------------- memory hierarchy
+    def filtered_stream(
+        self,
+        hierarchy,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        hash_fn: HashFunction,
+        order: StreamingOrder,
+        level: int,
+    ):
+        """One level's lookup stream pushed through an on-chip hierarchy.
+
+        ``hierarchy`` is a :class:`repro.mem.hierarchy.CacheHierarchy`; the
+        result is the :class:`repro.mem.hierarchy.FilteredStream` whose
+        ``dram_addresses`` are what the DRAM system still has to service.
+        Memoized by the full hierarchy + stream configuration, and derived
+        from the corner-index streams other experiments already cached.
+        """
+        key = (
+            "filtered_stream",
+            config_key(hierarchy.cache),
+            config_key(hierarchy.prefetcher),
+            config_key(hierarchy.scratchpad),
+            config_key(grid),
+            config_key(trace),
+            hash_fn.name,
+            order.value,
+            level,
+        )
+
+        def compute():
+            indices = self.level_indices(grid, trace, hash_fn, level)
+            perm = self.stream_order(trace, order)
+            addresses = lookup_addresses(indices[perm], level, grid, trace.entry_bytes)
+            return hierarchy.filter_stream(addresses, entry_bytes=trace.entry_bytes)
+
+        return self.memoize(key, compute)
+
+    def hierarchy_serviced_batch(
+        self,
+        dram: str,
+        hierarchy,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        hash_fn: HashFunction,
+        order: StreamingOrder,
+        level: int,
+        stage: str = "misses",
+    ) -> dict:
+        """DRAM timing of one level's stream after the on-chip hierarchy.
+
+        ``stage="misses"`` services only the lines the hierarchy could not
+        filter (demand misses + prefetch fills); ``stage="demand"`` services
+        the L0-surviving line requests — the uncached baseline the cache's
+        DRAM-traffic reduction is reported against.  The demand stage is
+        keyed by the L0/line geometry only, so every cache size of a sweep
+        shares one baseline simulation.
+        """
+        if stage not in ("misses", "demand"):
+            raise ValueError(f"stage must be 'misses' or 'demand', got {stage!r}")
+        stream_key = (config_key(grid), config_key(trace), hash_fn.name, order.value, level)
+        if stage == "demand":
+            key = (
+                "hierarchy_serviced_batch",
+                dram,
+                "demand",
+                config_key(hierarchy.scratchpad),
+                hierarchy.cache.line_bytes,
+            ) + stream_key
+        else:
+            key = (
+                "hierarchy_serviced_batch",
+                dram,
+                "misses",
+                config_key(hierarchy.cache),
+                config_key(hierarchy.prefetcher),
+                config_key(hierarchy.scratchpad),
+            ) + stream_key
+
+        def compute() -> dict:
+            from ..dram.system import DRAMSystem
+
+            filtered = self.filtered_stream(hierarchy, grid, trace, hash_fn, order, level)
+            addresses = (
+                filtered.dram_addresses if stage == "misses" else filtered.demand_addresses
+            )
+            spec = self.dram_spec(dram)
+            system = DRAMSystem(spec)
+            result = system.service_batch(
+                addresses % spec.organization.total_capacity_bytes,
+                size_bytes=hierarchy.cache.line_bytes,
+            )
+            return {
+                "total_requests": int(result.total_requests),
+                "total_cycles": int(result.total_cycles),
+                "row_hits": int(result.row_hits),
+                "row_misses": int(result.row_misses),
+                "bank_conflicts": int(result.bank_conflicts),
+                "row_hit_rate": float(result.row_hit_rate),
+                "achieved_bandwidth_gbps": float(result.achieved_bandwidth_gbps),
+            }
+
+        return self.memoize(key, compute)
 
     # ---------------------------------------------------------------- DRAM
     def dram_spec(self, name: str) -> DRAMSpec:

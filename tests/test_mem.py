@@ -1,0 +1,410 @@
+"""Tests for the on-chip memory-hierarchy simulator (:mod:`repro.mem`).
+
+The load-bearing guarantees: the vectorized engines are *exactly* equivalent
+to their per-access reference oracles (on random streams and on
+scene-conditioned corner streams across hash functions), an LRU cache that
+holds the working set reaches a 100% steady-state hit rate with zero extra
+DRAM traffic, and the L0 scratchpad window reproduces the row-request
+accounting of :mod:`repro.core.streaming` at matching granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import NMPAccelerator, Scratchpad
+from repro.accel.cost_model import ComparisonModel
+from repro.core.hashing import (
+    DenseGridIndexer,
+    HashFunction,
+    MortonLocalityHash,
+    get_hash_function,
+)
+from repro.core.streaming import StreamingOrder, row_requests_from_corner_indices
+from repro.gpu import XNX
+from repro.mem import (
+    COALESCED,
+    HIT,
+    MISS,
+    PREFETCH_FILL,
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    PrefetcherConfig,
+    plan_prefetches,
+    plan_prefetches_reference,
+    scratchpad_filter,
+    scratchpad_filter_reference,
+    simulate_cache,
+    simulate_cache_reference,
+)
+from repro.nerf.encoding import HashGridConfig
+from repro.pipeline.context import SimulationContext
+from repro.workloads.traces import TraceConfig, generate_batch_points, level_lookup_indices
+
+
+# ----------------------------------------------------------- configuration
+def test_cache_config_validation():
+    CacheConfig()  # defaults are valid
+    with pytest.raises(ValueError):
+        CacheConfig(line_bytes=48)  # not a power of two
+    with pytest.raises(ValueError):
+        CacheConfig(ways=0)
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=1000, line_bytes=64, ways=4)  # not divisible
+    with pytest.raises(ValueError):
+        CacheConfig(mshr_latency=-1)
+    with pytest.raises(ValueError):
+        CacheConfig(access_energy_pj=-0.1)
+    full = CacheConfig.fully_associative(4096, line_bytes=64)
+    assert full.num_sets == 1 and full.ways == 64
+
+
+def test_prefetcher_config_validation():
+    with pytest.raises(ValueError):
+        PrefetcherConfig(policy="belady")
+    with pytest.raises(ValueError):
+        PrefetcherConfig(degree=0)
+
+
+def test_scratchpad_invalid_configs_fail_at_construction():
+    with pytest.raises(ValueError):
+        Scratchpad(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        Scratchpad(bytes_per_cycle=-1)
+    with pytest.raises(ValueError):
+        Scratchpad(energy_pj_per_byte=-0.01)
+    with pytest.raises(ValueError):
+        Scratchpad(area_mm2=-1.0)
+
+
+def test_scratchpad_filter_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        scratchpad_filter(np.zeros((2, 8), dtype=np.int64), 0)
+
+
+# ----------------------------------------------- equivalence: random streams
+@pytest.mark.parametrize("mshr", [0, 3])
+@pytest.mark.parametrize(
+    "capacity,line,ways", [(2048, 64, 1), (4096, 64, 4), (8192, 32, 8), (1024, 64, 16)]
+)
+def test_cache_matches_reference_on_random_streams(capacity, line, ways, mshr, rng):
+    config = CacheConfig(capacity_bytes=capacity, line_bytes=line, ways=ways, mshr_latency=mshr)
+    for density in (40, 400, 4000):
+        lines = rng.integers(0, density, 600)
+        writes = rng.random(600) < 0.3
+        prefetches = rng.random(600) < 0.2
+        out_vec, stats_vec = simulate_cache(lines, config, writes, prefetches)
+        out_ref, stats_ref = simulate_cache_reference(lines, config, writes, prefetches)
+        np.testing.assert_array_equal(out_vec, out_ref)
+        assert stats_vec == stats_ref
+
+
+def test_cache_empty_stream_and_bad_inputs():
+    config = CacheConfig()
+    out, stats = simulate_cache(np.array([], dtype=np.int64), config)
+    assert out.size == 0 and stats == CacheStats(line_bytes=config.line_bytes)
+    with pytest.raises(ValueError):
+        simulate_cache(np.array([-1]), config)
+    with pytest.raises(ValueError):
+        simulate_cache(np.array([1, 2]), config, is_write=np.array([True]))
+
+
+def test_cache_outcome_semantics_are_exact():
+    """Hand-checked micro-stream: misses, hits, LRU eviction, writeback."""
+    config = CacheConfig(capacity_bytes=256, line_bytes=64, ways=2)  # 2 sets x 2 ways
+    # Lines 0, 2, 4 all map to set 0 (line % 2 == 0): 2-way LRU within one set.
+    lines = np.array([0, 2, 0, 4, 2, 0])
+    writes = np.array([True, False, False, False, False, False])
+    out, stats = simulate_cache(lines, config, is_write=writes)
+    #                 0:miss 2:miss 0:hit 4:evicts-2 2:evicts-0(dirty) 0:miss
+    np.testing.assert_array_equal(out, [MISS, MISS, HIT, MISS, MISS, MISS])
+    assert stats.hits == 1 and stats.misses == 5
+    assert stats.writebacks == 1  # line 0 was dirty when line 2 reclaimed its way
+    assert stats.dram_line_fetches == 5
+
+
+def test_mshr_coalescing_merges_duplicate_misses():
+    config = CacheConfig(capacity_bytes=256, line_bytes=64, ways=2, mshr_latency=2)
+    out, stats = simulate_cache(np.array([8, 8, 8, 8]), config)
+    # The first access misses; the next two land inside the fill window and
+    # coalesce into the outstanding MSHR; the fourth is a plain hit.
+    np.testing.assert_array_equal(out, [MISS, COALESCED, COALESCED, HIT])
+    assert stats.dram_line_fetches == 1
+    assert stats.coalesced == 2
+
+
+# ------------------------------------------------------ equivalence: scenes
+SCENE_CASES = [
+    (scene, hash_name)
+    for scene in ("lego", "chair")
+    for hash_name in ("morton", "original", "dense")
+]
+
+
+@pytest.mark.parametrize("scene,hash_name", SCENE_CASES)
+def test_hierarchy_matches_reference_on_scene_streams(scene, hash_name):
+    """Exact equivalence on scene-conditioned corner streams: three mapping
+    functions (Morton, original iNGP, dense row-major) x two scenes, at a
+    dense level, a hashed mid level and the finest level each."""
+    grid = HashGridConfig(num_levels=16)
+    trace = TraceConfig(num_rays=24, points_per_ray=24, seed=3, scene=scene, probe_samples=12)
+    points = generate_batch_points(trace).reshape(-1, 3)
+    hierarchy = CacheHierarchy(
+        CacheConfig(capacity_bytes=8192, line_bytes=64, ways=4, mshr_latency=4),
+        PrefetcherConfig("stride"),
+    )
+    for level in (0, 9, 15):  # dense level, hashed mid level, finest level
+        if hash_name == "dense":
+            hash_fn: HashFunction = DenseGridIndexer(int(grid.resolutions[level]))
+        else:
+            hash_fn = get_hash_function(hash_name)
+        indices = level_lookup_indices(points, level, grid, hash_fn)
+        fast = hierarchy.filter_stream(indices * 4)
+        oracle = hierarchy.filter_stream_reference(indices * 4)
+        np.testing.assert_array_equal(fast.outcomes, oracle.outcomes)
+        np.testing.assert_array_equal(fast.dram_lines, oracle.dram_lines)
+        np.testing.assert_array_equal(fast.demand_lines, oracle.demand_lines)
+        assert fast.stats == oracle.stats
+
+
+def test_hierarchy_write_streams_match_reference(rng):
+    hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=2048, line_bytes=64, ways=2))
+    addresses = rng.integers(0, 64 * 400, 50 * 8) * 4
+    fast = hierarchy.filter_stream(addresses, writes=True)
+    oracle = hierarchy.filter_stream_reference(addresses, writes=True)
+    assert fast.stats == oracle.stats
+    assert fast.stats.cache.writebacks + fast.stats.cache.dirty_lines_left > 0
+
+
+# -------------------------------------------------------------- prefetcher
+@pytest.mark.parametrize("policy", ["none", "next_line", "stride"])
+@pytest.mark.parametrize("degree", [1, 3])
+def test_prefetch_plan_matches_reference(policy, degree, rng):
+    config = PrefetcherConfig(policy=policy, degree=degree)
+    for _ in range(5):
+        lines = np.abs(np.cumsum(rng.integers(-3, 4, 300)))
+        merged_vec, flags_vec = plan_prefetches(lines, config)
+        merged_ref, flags_ref = plan_prefetches_reference(lines, config)
+        np.testing.assert_array_equal(merged_vec, merged_ref)
+        np.testing.assert_array_equal(flags_vec, flags_ref)
+        assert np.array_equal(merged_vec[~flags_vec], lines)  # demand preserved
+
+
+def test_next_line_prefetcher_turns_sequential_misses_into_hits():
+    lines = np.arange(512)
+    config = CacheConfig(capacity_bytes=4096, line_bytes=64, ways=4)
+    _, cold = simulate_cache(lines, config)
+    merged, flags = plan_prefetches(lines, PrefetcherConfig("next_line"))
+    out, warm = simulate_cache(merged, config, is_prefetch=flags)
+    assert cold.hits == 0  # every access is a compulsory miss without prefetch
+    assert warm.hits > 0.9 * warm.demand_accesses
+    assert warm.prefetch_accuracy > 0.9
+
+
+def test_stride_prefetcher_detects_constant_stride():
+    stride = 7
+    lines = np.arange(0, 7 * 300, stride)
+    merged, flags = plan_prefetches(lines, PrefetcherConfig("stride"))
+    out, stats = simulate_cache(merged, CacheConfig(capacity_bytes=8192), is_prefetch=flags)
+    assert stats.hits > 0.9 * stats.demand_accesses
+    # A shuffled stream confirms no stride and issues (almost) nothing.
+    shuffled = np.random.default_rng(0).permutation(lines)
+    merged_s, flags_s = plan_prefetches(shuffled, PrefetcherConfig("stride"))
+    assert flags_s.sum() < 0.2 * shuffled.size
+
+
+# ------------------------------------------------------ L0 scratchpad window
+def test_scratchpad_filter_matches_reference(rng):
+    for _ in range(10):
+        lines = rng.integers(0, 40, (60, 8))
+        for capacity in (1, 2, 8, 64):
+            np.testing.assert_array_equal(
+                scratchpad_filter(lines, capacity),
+                scratchpad_filter_reference(lines, capacity),
+            )
+
+
+def test_l0_window_reproduces_row_request_accounting():
+    """With row-sized lines and an 8-line scratchpad, the L0-surviving line
+    count equals the row-request count of :mod:`repro.core.streaming` — the
+    hierarchy generalizes the locality statistic the paper reports."""
+    grid = HashGridConfig(num_levels=16)
+    points = generate_batch_points(TraceConfig(num_rays=48, points_per_ray=32, seed=0)).reshape(-1, 3)
+    hierarchy = CacheHierarchy(
+        CacheConfig(capacity_bytes=4096, line_bytes=1024, ways=4),
+        scratchpad=Scratchpad(capacity_bytes=8 * 1024),
+    )
+    for level in (0, 8, 15):
+        indices = level_lookup_indices(points, level, grid, MortonLocalityHash())
+        filtered = hierarchy.filter_stream(indices * 4)
+        expected = row_requests_from_corner_indices(points, indices, level, grid, None, 1024, 4)
+        assert filtered.stats.demand_lines == expected
+
+
+# -------------------------------------------------- LRU capacity properties
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=120),
+    st.sampled_from([32, 64]),
+)
+def test_full_working_set_cache_reaches_steady_state_hit_rate_one(line_list, line_bytes):
+    """Property: a fully-associative LRU cache sized >= the working set has
+    only compulsory misses — a second pass over the stream hits 100% and
+    adds zero DRAM traffic."""
+    lines = np.array(line_list, dtype=np.int64)
+    distinct = np.unique(lines).size
+    config = CacheConfig.fully_associative(
+        max(1, distinct) * line_bytes * 2, line_bytes=line_bytes
+    )
+    assert config.ways >= distinct
+    twice = np.concatenate([lines, lines])
+    out, stats = simulate_cache(twice, config)
+    assert stats.dram_line_fetches == distinct  # compulsory misses only
+    assert stats.writebacks == 0
+    steady = out[lines.size :]
+    assert np.all(steady == HIT)  # 100% steady-state hit rate
+    out_ref, stats_ref = simulate_cache_reference(twice, config)
+    np.testing.assert_array_equal(out, out_ref)
+    assert stats == stats_ref
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=400), min_size=8, max_size=160))
+def test_larger_caches_never_fetch_more(line_list):
+    """Property: growing an LRU cache (same geometry otherwise) never
+    increases DRAM line fetches on the same stream (LRU inclusion)."""
+    lines = np.array(line_list, dtype=np.int64)
+    fetches = [
+        simulate_cache(lines, CacheConfig.fully_associative(capacity, line_bytes=32))[1].dram_line_fetches
+        for capacity in (32 * 4, 32 * 16, 32 * 64, 32 * 512)
+    ]
+    assert fetches == sorted(fetches, reverse=True)
+
+
+# ----------------------------------------------------- hierarchy end-to-end
+def test_hierarchy_filters_traffic_and_reports_energy():
+    grid = HashGridConfig(num_levels=8)
+    points = generate_batch_points(TraceConfig(num_rays=64, points_per_ray=32, seed=1)).reshape(-1, 3)
+    indices = level_lookup_indices(points, 7, grid, MortonLocalityHash())
+    hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=64 * 1024, ways=4, mshr_latency=4))
+    filtered = hierarchy.filter_stream(indices * 4)
+    stats = filtered.stats
+    assert stats.l0_accesses == indices.size
+    assert 0.0 < stats.l0_hit_rate < 1.0
+    assert stats.dram_line_fetches <= stats.demand_lines
+    assert stats.traffic_reduction >= 1.0
+    assert stats.sram_energy_j > 0
+    assert filtered.dram_addresses.size == stats.dram_line_fetches
+    assert np.all(filtered.dram_addresses % hierarchy.cache.line_bytes == 0)
+    # The DRAM stream is exactly the miss/prefetch-fill subset of the merged stream.
+    mask = (filtered.outcomes == MISS) | (filtered.outcomes == PREFETCH_FILL)
+    np.testing.assert_array_equal(filtered.merged_lines[mask], filtered.dram_lines)
+
+
+def test_bad_stream_shapes_are_rejected():
+    hierarchy = CacheHierarchy()
+    with pytest.raises(ValueError):
+        hierarchy.filter_stream(np.arange(10), accesses_per_point=8)
+    with pytest.raises(ValueError):
+        hierarchy.filter_stream(np.arange(16), accesses_per_point=0)
+    with pytest.raises(ValueError):
+        hierarchy.filter_stream(np.array([-4, 0, 0, 0, 0, 0, 0, 0]))
+
+
+# -------------------------------------------------------- pipeline context
+def test_context_memoizes_filtered_streams():
+    ctx = SimulationContext()
+    grid = HashGridConfig(num_levels=4)
+    trace = TraceConfig(num_rays=16, points_per_ray=16, seed=0)
+    hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=16 * 1024))
+    first = ctx.filtered_stream(hierarchy, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    hits_before = ctx.stats.hits
+    # An equal-but-distinct hierarchy object must hit the same cache entry.
+    same = CacheHierarchy(CacheConfig(capacity_bytes=16 * 1024))
+    second = ctx.filtered_stream(same, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    assert second is first
+    assert ctx.stats.hits == hits_before + 1
+    # A different geometry computes a fresh stream.
+    other = CacheHierarchy(CacheConfig(capacity_bytes=32 * 1024))
+    third = ctx.filtered_stream(other, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    assert third is not first
+
+
+def test_context_hierarchy_serviced_batch_reduces_requests():
+    ctx = SimulationContext()
+    grid = HashGridConfig(num_levels=4)
+    trace = TraceConfig(num_rays=32, points_per_ray=16, seed=0)
+    hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=256 * 1024, mshr_latency=4))
+    args = (grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    cached = ctx.hierarchy_serviced_batch("lpddr4-2400", hierarchy, *args, stage="misses")
+    baseline = ctx.hierarchy_serviced_batch("lpddr4-2400", hierarchy, *args, stage="demand")
+    assert cached["total_requests"] <= baseline["total_requests"]
+    assert cached["total_requests"] == ctx.filtered_stream(hierarchy, *args).stats.dram_line_fetches
+    with pytest.raises(ValueError):
+        ctx.hierarchy_serviced_batch("lpddr4-2400", hierarchy, *args, stage="everything")
+
+
+# ------------------------------------------------------- accelerator model
+def _measured_stats():
+    grid = HashGridConfig(num_levels=8)
+    points = generate_batch_points(TraceConfig(num_rays=32, points_per_ray=32, seed=0)).reshape(-1, 3)
+    indices = level_lookup_indices(points, 7, grid, MortonLocalityHash())
+    hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=512 * 1024, ways=8, mshr_latency=4))
+    return hierarchy.filter_stream(indices * 4).stats
+
+
+def test_nmp_accelerator_consumes_hierarchy_stats():
+    stats = _measured_stats()
+    assert stats.dram_traffic_fraction < 1.0
+    base = NMPAccelerator()
+    cached = NMPAccelerator(cache_stats=stats)
+    # Fewer row accesses reach the banks, so HT steps get faster...
+    assert cached.step_cost("HT").memory_seconds < base.step_cost("HT").memory_seconds
+    assert cached.scene_training_seconds() < base.scene_training_seconds()
+    # ...while the HT energy now includes the SRAM lookup energy.
+    assert cached._hash_sram_energy_j() > 0
+
+
+def test_comparison_model_memory_system_summary():
+    base = ComparisonModel(NMPAccelerator(), XNX).memory_system_summary()
+    assert base["cache_modelled"] is False and "l0_hit_rate" not in base
+    stats = _measured_stats()
+    summary = ComparisonModel(NMPAccelerator(cache_stats=stats), XNX).memory_system_summary()
+    assert summary["cache_modelled"] is True
+    assert 0.0 < summary["overall_hit_rate"] <= 1.0
+    assert summary["dram_traffic_fraction"] == pytest.approx(stats.dram_traffic_fraction)
+    assert summary["sram_energy_j_per_iteration"] > 0
+    assert 0.0 < summary["sram_energy_fraction"] < 1.0
+
+
+# ------------------------------------------------------------- experiment
+def test_fig12_experiment_reports_traffic_reduction():
+    from repro.experiments import run_fig12
+
+    ctx = SimulationContext()
+    grid = HashGridConfig(num_levels=6)
+    trace = TraceConfig(num_rays=32, points_per_ray=32, seed=0)
+    result = run_fig12(grid, trace, (16, 256), context=ctx, timing=True)
+    assert [row["cache_kb"] for row in result.rows] == [16, 256]
+    for row in result.rows:
+        assert 0.0 <= row["cache_hit_rate"] <= 1.0
+        assert row["dram_lines"] > 0 and row["uncached_dram_lines"] > 0
+        assert row["traffic_reduction"] == pytest.approx(
+            row["uncached_dram_lines"] / row["dram_lines"]
+        )
+        assert row["dram_cycles"] > 0 and row["uncached_dram_cycles"] > 0
+    # Larger caches keep more lines on chip.
+    assert result.rows[1]["dram_lines"] <= result.rows[0]["dram_lines"]
+    # The baseline DRAM simulation is shared between the two cache sizes.
+    demand_runs = sum(
+        1
+        for key in ctx._cache
+        if isinstance(key, tuple) and key[0] == "hierarchy_serviced_batch" and key[2] == "demand"
+    )
+    assert demand_runs == 1
+    with pytest.raises(ValueError):
+        run_fig12(grid, trace, (), context=ctx)

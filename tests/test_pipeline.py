@@ -26,12 +26,13 @@ from repro.workloads.traces import TraceConfig
 
 EXPECTED_SPECS = (
     "fig01", "fig04", "fig06", "fig07", "fig09", "fig10", "fig11",
+    "fig12_cache_hit_rate",
     "tab01", "tab02", "tab03", "tab04",
 )
 
 
 # ----------------------------------------------------------------- registry
-def test_all_eleven_experiments_registered():
+def test_all_experiments_registered():
     names = [spec.name for spec in all_experiments()]
     assert names == list(EXPECTED_SPECS)
     for spec in all_experiments():
@@ -297,3 +298,19 @@ def test_cli_report_subset(tmp_path, capsys):
     summary = json.loads((tmp_path / "summary.json").read_text())
     assert summary["experiments"] == ["tab01", "tab02", "tab03"]
     assert (tmp_path / "tab01.json").exists()
+
+
+def test_cli_report_single_format_writes_csv_only(tmp_path):
+    code = main(
+        ["report", "--experiments", "tab01,tab02", "--format", "csv",
+         "--out", str(tmp_path), "--quiet"]
+    )
+    assert code == 0
+    for name in ("tab01", "tab02"):
+        assert (tmp_path / f"{name}.csv").read_text().count("\n") > 1
+        assert not (tmp_path / f"{name}.json").exists()
+
+
+def test_cli_run_single_format_rejects_unknown(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig06", "--num-cubes", "64", "--format", "yaml", "--out", str(tmp_path)])
