@@ -12,6 +12,10 @@ The full Table IV benchmark this builds toward is one CLI call:
     python -m repro run tab04 --scenes lego --methods ingp,instant-nerf
     python -m repro sweep tab04 --grid scenes=lego,chair --grid methods=ingp,instant-nerf --workers 2
 
+With ``--store .repro-cache`` artifacts persist across invocations; rerunning
+the sweep with ``--store .repro-cache --resume`` loads every completed cell
+from the warm store instead of retraining.
+
 Usage:
     python examples/quickstart.py [scene] [iterations]
 """

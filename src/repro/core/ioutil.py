@@ -1,0 +1,38 @@
+"""Atomic file-write primitive shared by artifact writers and the store.
+
+One copy of the subtle part — temp file in the destination directory,
+``os.replace`` into place, cleanup on failure — so a future hardening (e.g.
+fsync before rename) lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically write ``data`` to ``path``, creating parent directories.
+
+    The bytes land in a temporary file in the destination directory and are
+    renamed into place, so readers never observe a truncated file and
+    concurrent writers of identical content race benignly (last rename
+    wins).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

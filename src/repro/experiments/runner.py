@@ -11,10 +11,13 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..core.ioutil import atomic_write_bytes
+
 __all__ = [
     "ExperimentResult",
     "format_table",
     "format_series",
+    "atomic_write_text",
     "write_json_artifact",
     "write_csv_artifact",
 ]
@@ -150,17 +153,41 @@ def format_series(name: str, values: list[float], precision: int = 3) -> str:
     return f"{name}: [{formatted}]"
 
 
-def write_json_artifact(result: ExperimentResult, path: str | Path) -> Path:
-    """Write ``result`` as a JSON artifact, creating parent directories."""
+def atomic_write_text(path: str | Path, text: str, overwrite: bool = False) -> Path:
+    """Atomically write ``text`` to ``path``, creating parent directories.
+
+    The text lands in a temporary file in the destination directory and is
+    renamed into place, so a killed run never leaves a truncated artifact.
+    Rewriting a file with identical content is a no-op; a *differing*
+    existing file is refused unless ``overwrite=True`` — silently clobbering
+    a prior run's artifact hides that two runs disagreed.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(result.to_json() + "\n")
-    return path
+    if path.exists():
+        try:
+            existing = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            existing = None
+        if existing == text:
+            return path
+        if not overwrite:
+            raise FileExistsError(
+                f"refusing to overwrite {path} with differing content "
+                "(pass overwrite=True / --force, or write to a fresh directory)"
+            )
+    return atomic_write_bytes(path, text.encode())
 
 
-def write_csv_artifact(result: ExperimentResult, path: str | Path) -> Path:
-    """Write ``result``'s rows as a CSV artifact, creating parent directories."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(result.to_csv())
-    return path
+def write_json_artifact(
+    result: ExperimentResult, path: str | Path, overwrite: bool = False
+) -> Path:
+    """Write ``result`` as a JSON artifact (atomic, parents created)."""
+    return atomic_write_text(path, result.to_json() + "\n", overwrite=overwrite)
+
+
+def write_csv_artifact(
+    result: ExperimentResult, path: str | Path, overwrite: bool = False
+) -> Path:
+    """Write ``result``'s rows as a CSV artifact (atomic, parents created)."""
+    return atomic_write_text(path, result.to_csv(), overwrite=overwrite)

@@ -9,13 +9,19 @@ registry-addressable experiments that share expensive simulation artifacts:
 * :mod:`repro.pipeline.context` — :class:`SimulationContext`, a config-hash
   keyed memo of generated traces, index streams, locality statistics,
   datasets, trained fields, GPU profiles and serviced DRAM batches.
+* :mod:`repro.pipeline.store` — :class:`ArtifactStore`, the persistent
+  content-addressed on-disk artifact store contexts read through (and
+  resumable sweeps skip completed cells from).
 * :mod:`repro.pipeline.sweep` — parallel parameter sweeps with deterministic
-  per-cell seeding.
+  per-cell seeding, behind interchangeable serial/thread/process executors
+  (the process executor shares large arrays via
+  ``multiprocessing.shared_memory``).
 * :mod:`repro.pipeline.cli` — the ``python -m repro`` command line
   (``list`` / ``run`` / ``sweep`` / ``report``).
 """
 
 from .context import ContextStats, SimulationContext, config_key
+from .store import STORE_MISS, STORE_SCHEMA_VERSION, ArtifactStore, StoreStats, key_digest
 from .registry import (
     ExperimentSpec,
     ParamSpec,
@@ -26,12 +32,29 @@ from .registry import (
     run_experiment,
     run_suite,
 )
-from .sweep import SweepCell, SweepResult, cell_seed, expand_grid, sweep
+from .sweep import (
+    ProcessSweepExecutor,
+    SerialSweepExecutor,
+    SweepCell,
+    SweepExecutor,
+    SweepResult,
+    ThreadSweepExecutor,
+    cell_seed,
+    cell_store_key,
+    expand_grid,
+    resolve_executor,
+    sweep,
+)
 
 __all__ = [
     "SimulationContext",
     "ContextStats",
     "config_key",
+    "ArtifactStore",
+    "StoreStats",
+    "STORE_MISS",
+    "STORE_SCHEMA_VERSION",
+    "key_digest",
     "ExperimentSpec",
     "ParamSpec",
     "register_experiment",
@@ -43,6 +66,12 @@ __all__ = [
     "sweep",
     "SweepCell",
     "SweepResult",
+    "SweepExecutor",
+    "SerialSweepExecutor",
+    "ThreadSweepExecutor",
+    "ProcessSweepExecutor",
+    "resolve_executor",
     "expand_grid",
     "cell_seed",
+    "cell_store_key",
 ]

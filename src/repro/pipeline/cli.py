@@ -25,9 +25,15 @@ import time
 from pathlib import Path
 from typing import Any
 
-from ..experiments.runner import ExperimentResult, write_csv_artifact, write_json_artifact
-from .context import SimulationContext
+from ..experiments.runner import (
+    ExperimentResult,
+    atomic_write_text,
+    write_csv_artifact,
+    write_json_artifact,
+)
+from .context import SimulationContext, config_key
 from .registry import all_experiments, get_experiment, run_suite
+from .store import STORE_MISS, ArtifactStore
 from .sweep import sweep
 
 __all__ = ["main", "build_parser"]
@@ -72,21 +78,47 @@ def _collect_params(spec_name: str, namespace: argparse.Namespace) -> dict[str, 
     return overrides
 
 
-def _write_artifacts(result: ExperimentResult, name: str, out: str | None, formats: list[str]) -> list[Path]:
+def _write_artifacts(
+    result: ExperimentResult,
+    name: str,
+    out: str | None,
+    formats: list[str],
+    overwrite: bool = False,
+) -> list[Path]:
     if out is None:
         return []
     out_dir = Path(out)
     written = []
     if "json" in formats:
-        written.append(write_json_artifact(result, out_dir / f"{name}.json"))
+        written.append(write_json_artifact(result, out_dir / f"{name}.json", overwrite=overwrite))
     if "csv" in formats:
-        written.append(write_csv_artifact(result, out_dir / f"{name}.csv"))
+        written.append(write_csv_artifact(result, out_dir / f"{name}.csv", overwrite=overwrite))
     if "text" in formats:
-        path = out_dir / f"{name}.txt"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(result.to_text() + "\n")
-        written.append(path)
+        written.append(
+            atomic_write_text(out_dir / f"{name}.txt", result.to_text() + "\n", overwrite=overwrite)
+        )
     return written
+
+
+def _add_store_flags(parser: argparse.ArgumentParser, with_resume: bool = True) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact-store directory (simulation artifacts and "
+        "results are read through it and written back)",
+    )
+    if with_resume:
+        parser.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse results already present in --store instead of recomputing",
+        )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite differing existing artifacts in --out",
+    )
 
 
 def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
@@ -126,6 +158,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="override any experiment parameter (repeatable)",
     )
+    _add_store_flags(p_run)
     _add_param_flags(p_run, run_spec)
 
     p_sweep = sub.add_parser("sweep", help="sweep an experiment over a parameter grid")
@@ -137,7 +170,14 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         metavar="KEY=V1,V2,...",
         help="one swept parameter with its values (repeatable)",
     )
-    p_sweep.add_argument("--workers", type=int, default=1, help="thread-pool width")
+    p_sweep.add_argument("--workers", type=int, default=1, help="pool width for thread/process executors")
+    p_sweep.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="cell executor: auto (serial for 1 worker, threads otherwise), "
+        "serial, thread, or process (GIL-free, shared-memory artifact export)",
+    )
     p_sweep.add_argument("--base-seed", type=int, default=0, help="seed folded into every cell")
     p_sweep.add_argument("--out", default=None, help="artifact output directory")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress per-cell printouts")
@@ -147,6 +187,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="fixed override applied to every cell (repeatable)",
     )
+    _add_store_flags(p_sweep)
 
     p_report = sub.add_parser("report", help="run the full suite with a shared context")
     p_report.add_argument(
@@ -171,6 +212,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         action="store_true",
         help="shrink the training-based experiments to smoke scale",
     )
+    _add_store_flags(p_report, with_resume=False)
     return parser
 
 
@@ -200,14 +242,31 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment)
     overrides = _collect_params(spec.name, args)
+    if args.resume and args.store is None:
+        raise SystemExit("--resume requires --store")
+    store = ArtifactStore(args.store) if args.store else None
+    context = SimulationContext(store=store)
+    # The run-level store key is the fully bound parameter assignment, so a
+    # resumed `run` only matches the identical effective configuration.
+    run_key = ("run_result", spec.name, config_key(spec.bind(overrides)))
     started = time.perf_counter()
-    result = spec.run(SimulationContext(), **overrides)
+    result = None
+    resumed = False
+    if store is not None and args.resume:
+        hit = store.get(run_key)
+        if isinstance(hit, ExperimentResult):
+            result, resumed = hit, True
+    if result is None:
+        result = spec.run(context, **overrides)
+        if store is not None:
+            store.put(run_key, result)
     elapsed = time.perf_counter() - started
     if not args.quiet:
         print(result.to_text())
-        print(f"[{spec.name} finished in {elapsed:.2f} s]")
+        source = "loaded from store" if resumed else "finished"
+        print(f"[{spec.name} {source} in {elapsed:.2f} s]")
     formats = [f.strip() for f in args.formats.split(",") if f.strip()]
-    for path in _write_artifacts(result, spec.name, args.out, formats):
+    for path in _write_artifacts(result, spec.name, args.out, formats, overwrite=args.force):
         if not args.quiet:
             print(f"wrote {path}")
     return 0
@@ -229,6 +288,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment)
     grid = _parse_grid(args.grid)
     extra = _parse_assignments(args.set)
+    if args.resume and args.store is None:
+        raise SystemExit("--resume requires --store")
+    store = ArtifactStore(args.store) if args.store else None
     started = time.perf_counter()
     result = sweep(
         spec,
@@ -236,6 +298,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         base_seed=args.base_seed,
         extra_params=extra or None,
+        executor=args.executor,
+        store=store,
+        resume=args.resume,
     )
     elapsed = time.perf_counter() - started
     if not args.quiet:
@@ -248,10 +313,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 print(cell.result.to_text())
         print(
             f"[{spec.name} sweep: {len(result.cells)} cells, {len(result.failed)} failed, "
+            f"{len(result.resumed)} resumed, {result.executor} executor, "
             f"{args.workers} workers, {elapsed:.2f} s]"
         )
     if args.out is not None:
-        index_path = result.write(args.out)
+        index_path = result.write(args.out, overwrite=args.force)
         if not args.quiet:
             print(f"wrote {index_path}")
     return 1 if result.failed else 0
@@ -279,7 +345,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else None
     )
     overrides = FAST_OVERRIDES if args.fast else {}
-    context = SimulationContext()
+    store = ArtifactStore(args.store) if args.store else None
+    context = SimulationContext(store=store)
     started = time.perf_counter()
     results = run_suite(names, context=context, overrides=overrides)
     elapsed = time.perf_counter() - started
@@ -288,7 +355,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(result.to_text())
             print()
-        _write_artifacts(result, name, args.out, formats)
+        _write_artifacts(result, name, args.out, formats, overwrite=args.force)
     summary = {
         "experiments": list(results),
         "elapsed_seconds": elapsed,
@@ -296,12 +363,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "cached_artifacts": context.cached_artifacts(),
             "cache_hits": context.stats.hits,
             "cache_misses": context.stats.misses,
+            "store_hits": context.stats.store_hits,
         },
     }
     if args.out is not None:
-        out_dir = Path(args.out)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+        # The summary embeds wall time, so it legitimately differs between
+        # otherwise identical runs — always replaced, still atomically.
+        atomic_write_text(
+            Path(args.out) / "summary.json", json.dumps(summary, indent=2) + "\n", overwrite=True
+        )
     if not args.quiet:
         print(
             f"[suite: {len(results)} experiments in {elapsed:.2f} s; "
@@ -330,7 +400,7 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, FileExistsError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
     raise AssertionError(f"unhandled command {args.command!r}")

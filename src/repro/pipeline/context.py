@@ -47,6 +47,7 @@ from ..scenes.dataset import DatasetConfig, SyntheticNeRFDataset
 from ..scenes.library import build_scene
 from ..workloads.steps import StepName
 from ..workloads.traces import TraceConfig, generate_batch_points, level_lookup_indices, lookup_addresses
+from .store import STORE_MISS, ArtifactStore
 
 __all__ = ["SimulationContext", "ContextStats", "config_key"]
 
@@ -90,6 +91,10 @@ class ContextStats:
 
     hits: int = 0
     misses: int = 0
+    #: Misses answered by the on-disk store instead of a computation.
+    store_hits: int = 0
+    #: Artifacts actually computed in this process (miss minus store hit).
+    computes: int = 0
     hit_keys: list = field(default_factory=list)
 
     @property
@@ -105,12 +110,23 @@ class ContextStats:
 
 
 class SimulationContext:
-    """Memoizing store for shared simulation artifacts, keyed by config hash."""
+    """Memoizing store for shared simulation artifacts, keyed by config hash.
 
-    def __init__(self):
+    With ``store=`` (an :class:`~repro.pipeline.store.ArtifactStore` or a
+    directory path) the context reads through the persistent on-disk store
+    before computing: an artifact simulated by any earlier process — a
+    previous CLI run, another sweep worker, an interrupted sweep — is
+    loaded instead of recomputed, and newly computed storable artifacts are
+    written back.
+    """
+
+    def __init__(self, store: ArtifactStore | str | None = None):
         self._lock = threading.Lock()
         self._cache: dict[Any, Future] = {}
         self.stats = ContextStats()
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
 
     # ----------------------------------------------------------- machinery
     def memoize(self, key: Any, compute) -> Any:
@@ -118,7 +134,10 @@ class SimulationContext:
 
         Thread-safe: concurrent callers of the same key block on the first
         caller's future.  A failed computation is evicted so it can be
-        retried (and the error propagates to every waiter).
+        retried (and the error propagates to every waiter).  When a store
+        is attached, a memory miss first consults the store; only a store
+        miss actually runs ``compute`` (counted in ``stats.computes``), and
+        the computed value is written back when it has a storable encoding.
         """
         with self._lock:
             fut = self._cache.get(key)
@@ -134,14 +153,61 @@ class SimulationContext:
         if not owner:
             return fut.result()
         try:
-            value = compute()
+            stored = self.store.get(key) if self.store is not None else STORE_MISS
+            if stored is not STORE_MISS:
+                value = stored
+                with self._lock:
+                    self.stats.store_hits += 1
+            else:
+                value = compute()
+                with self._lock:
+                    self.stats.computes += 1
+                if isinstance(value, np.ndarray):
+                    # Memoized arrays are shared across callers (and match the
+                    # read-only arrays the store / shared memory hand out):
+                    # any in-place mutation must fail loudly on every run.
+                    value.flags.writeable = False
         except BaseException as exc:
             with self._lock:
                 self._cache.pop(key, None)
             fut.set_exception(exc)
             raise
         fut.set_result(value)
+        if self.store is not None and stored is STORE_MISS:
+            self.store.put(key, value)
         return value
+
+    def seed_cache(self, key: Any, value: Any) -> bool:
+        """Install an already-computed artifact (e.g. a shared-memory array).
+
+        Returns ``False`` (leaving the cache untouched) when the key is
+        already present.  Used by process-pool sweep workers to adopt the
+        parent's large read-only arrays without recomputing or copying.
+        """
+        fut: Future = Future()
+        fut.set_result(value)
+        with self._lock:
+            if key in self._cache:
+                return False
+            self._cache[key] = fut
+        return True
+
+    def array_artifacts(self, min_bytes: int = 0) -> list[tuple[Any, np.ndarray]]:
+        """Completed ndarray-valued cache entries of at least ``min_bytes``.
+
+        Snapshot in insertion order; the process sweep executor exports
+        these through ``multiprocessing.shared_memory`` so workers share
+        them zero-copy instead of rebuilding them per cell.
+        """
+        with self._lock:
+            items = list(self._cache.items())
+        arrays = []
+        for key, fut in items:
+            if fut.done() and fut.exception() is None:
+                value = fut.result()
+                if isinstance(value, np.ndarray) and value.nbytes >= min_bytes:
+                    arrays.append((key, value))
+        return arrays
 
     def peek(self, key: Any):
         """The cached value for ``key`` if already computed, else ``None``.

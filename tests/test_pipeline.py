@@ -314,3 +314,55 @@ def test_cli_report_single_format_writes_csv_only(tmp_path):
 def test_cli_run_single_format_rejects_unknown(tmp_path, capsys):
     with pytest.raises(SystemExit):
         main(["run", "fig06", "--num-cubes", "64", "--format", "yaml", "--out", str(tmp_path)])
+
+
+def test_cli_sweep_store_resume_roundtrip(tmp_path, capsys):
+    """`sweep --store` persists cells; `--resume` replays them byte-identically."""
+    store = str(tmp_path / "cache")
+    base = ["sweep", "fig06", "--grid", "num_cubes=64,128", "--set", "resolution=128",
+            "--store", store]
+    assert main(base + ["--out", str(tmp_path / "a"), "--quiet"]) == 0
+    assert main(base + ["--resume", "--out", str(tmp_path / "b")]) == 0
+    out = capsys.readouterr().out
+    assert "2 resumed" in out
+    index_a = (tmp_path / "a" / "sweep_fig06.json").read_text()
+    index_b = (tmp_path / "b" / "sweep_fig06.json").read_text()
+    assert index_a == index_b
+
+
+def test_cli_sweep_executor_flag_is_deterministic(tmp_path):
+    for directory, executor in (("s", "serial"), ("t", "thread")):
+        code = main(
+            ["sweep", "fig06", "--grid", "num_cubes=64,128", "--set", "resolution=128",
+             "--executor", executor, "--workers", "2", "--quiet",
+             "--out", str(tmp_path / directory)]
+        )
+        assert code == 0
+    serial = (tmp_path / "s" / "sweep_fig06.json").read_text()
+    threaded = (tmp_path / "t" / "sweep_fig06.json").read_text()
+    assert serial == threaded
+
+
+def test_cli_run_store_resume(tmp_path, capsys):
+    store = str(tmp_path / "cache")
+    args = ["run", "fig06", "--num-cubes", "64", "--store", store]
+    assert main(args) == 0
+    assert main(args + ["--resume"]) == 0
+    assert "loaded from store" in capsys.readouterr().out
+
+
+def test_cli_resume_without_store_fails(tmp_path):
+    with pytest.raises(SystemExit, match="requires --store"):
+        main(["run", "fig06", "--num-cubes", "64", "--resume"])
+
+
+def test_cli_refuses_overwriting_differing_artifact_without_force(tmp_path, capsys):
+    out = str(tmp_path)
+    assert main(["run", "fig06", "--num-cubes", "64", "--quiet", "--out", out]) == 0
+    # identical rerun: fine (idempotent)
+    assert main(["run", "fig06", "--num-cubes", "64", "--quiet", "--out", out]) == 0
+    # differing configuration writing the same file name: refused ...
+    assert main(["run", "fig06", "--num-cubes", "128", "--quiet", "--out", out]) == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    # ... unless forced
+    assert main(["run", "fig06", "--num-cubes", "128", "--quiet", "--out", out, "--force"]) == 0
