@@ -52,6 +52,7 @@ from repro.experiments import (
     run_fig10,
     run_fig11,
     run_fig12,
+    run_fig13,
     run_tab01,
     run_tab02,
     run_tab03,
@@ -87,6 +88,7 @@ FAST_NAMES = [
     "fig10", "fig11", "tab01", "tab02", "tab03",
 ]
 CACHE_KB = (16, 64)
+OCC_RESOLUTIONS = (16, 32)
 OVERRIDES = {
     "fig07": {"rays": RAYS, "probe_samples": PROBES},
     "fig09": {
@@ -99,6 +101,12 @@ OVERRIDES = {
         "rays": RAYS,
         "probe_samples": PROBES,
         "cache_kb": ",".join(map(str, CACHE_KB)),
+        "timing": "false",
+    },
+    "fig13_occupancy_traffic": {
+        "rays": RAYS,
+        "probe_samples": PROBES,
+        "resolutions": ",".join(map(str, OCC_RESOLUTIONS)),
         "timing": "false",
     },
     "tab04": {
@@ -133,6 +141,14 @@ def _legacy_full() -> dict:
     results = _legacy_fast()
     results["tab04"] = run_tab04(QualityRunConfig(scenes=("lego",), **PSNR_KW), ("ingp",))
     results["fig12_cache_hit_rate"] = run_fig12(GRID16, TRACE, CACHE_KB, timing=False)
+    results["fig13_occupancy_traffic"] = run_fig13(
+        GRID16,
+        TraceConfig(
+            num_rays=RAYS, points_per_ray=POINTS_PER_RAY, seed=0, scene="mic", probe_samples=PROBES
+        ),
+        OCC_RESOLUTIONS,
+        timing=False,
+    )
     return results
 
 
@@ -140,12 +156,42 @@ def _canonical(results: dict) -> str:
     return json.dumps({name: res.to_dict() for name, res in results.items()}, sort_keys=True)
 
 
+_RESULTS: dict[str, dict] = {}
+
+
 def _record_bench(key: str, payload: dict) -> None:
-    data = {}
+    payload = dict(payload)
+    payload.pop("smoke", None)  # recorded once at the trajectory-entry level
+    _RESULTS[key] = payload
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Append this run's measurements to the BENCH_pipeline.json trajectory.
+
+    The same append-only format as the other suites: one entry per run with
+    a top-level ``smoke`` flag, so full-scale and smoke baselines coexist
+    and `python -m repro bench compare` can gate both flavors (a pre-PR-5
+    single-snapshot file is discarded).
+    """
+    yield
+    if not _RESULTS:
+        return
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": PERF_SMOKE,
+        "results": _RESULTS,
+    }
+    trajectory = []
     if BENCH_PATH.exists():
-        data = json.loads(BENCH_PATH.read_text())
-    data[key] = payload
-    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            data = []
+        if isinstance(data, list):
+            trajectory = data
+    trajectory.append(entry)
+    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
 def test_full_suite_shared_context_faster_than_legacy():
@@ -406,7 +452,9 @@ def test_warm_store_rerun_skips_all_simulation(tmp_path):
         )
 
 
-@pytest.mark.parametrize("name", FAST_NAMES + ["tab04", "fig12_cache_hit_rate"])
+@pytest.mark.parametrize(
+    "name", FAST_NAMES + ["tab04", "fig12_cache_hit_rate", "fig13_occupancy_traffic"]
+)
 def test_every_experiment_runs_through_the_registry(name):
     """`python -m repro run <spec>` works for each registered experiment."""
     from repro.pipeline.cli import main
@@ -415,6 +463,6 @@ def test_every_experiment_runs_through_the_registry(name):
     for key, value in OVERRIDES.get(name, {}).items():
         args += ["--set", f"{key}={value}"]
     # Keep the registry path cheap for the heavy specs.
-    if name in ("fig07", "fig09", "fig11", "fig12_cache_hit_rate"):
+    if name in ("fig07", "fig09", "fig11", "fig12_cache_hit_rate", "fig13_occupancy_traffic"):
         args += ["--set", "rays=48", "--set", "probe_samples=12"]
     assert main(args) == 0

@@ -12,6 +12,11 @@ The full Table IV benchmark this builds toward is one CLI call:
     python -m repro run tab04 --scenes lego --methods ingp,instant-nerf
     python -m repro sweep tab04 --grid scenes=lego,chair --grid methods=ingp,instant-nerf --workers 2
 
+Occupancy-grid adaptive marching (empty-space skipping) and its effect on
+the hash-table traffic is the Fig. 13 extension, one CLI call away:
+
+    python -m repro run fig13_occupancy_traffic --scene mic --resolutions 16,32,64
+
 With ``--store .repro-cache`` artifacts persist across invocations; rerunning
 the sweep with ``--store .repro-cache --resume`` loads every completed cell
 from the warm store instead of retraining.

@@ -18,6 +18,17 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    extras_require={
+        # The CI toolchain, pinned so the lint/format/coverage gates are
+        # reproducible locally: `pip install -e ".[dev]"`.
+        "dev": [
+            "pytest>=8",
+            "pytest-benchmark>=4",
+            "ruff==0.8.4",
+            "pytest-cov==5.0.0",
+            "hypothesis==6.155.2",
+        ],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.pipeline.cli:main",

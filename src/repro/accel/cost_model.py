@@ -94,6 +94,10 @@ class ComparisonModel:
             "num_active_banks": accel.config.num_active_banks,
             "iteration_energy_j": iteration.energy_j,
             "cache_modelled": accel.cache_stats is not None,
+            # Occupancy-grid adaptive marching: fraction of the dense batch
+            # that still reaches the hash tables and MLPs (1.0 = dense).
+            "sample_fraction": accel.sample_fraction,
+            "effective_points_per_iteration": accel.effective_points_per_iteration,
         }
         stats = accel.cache_stats
         if stats is not None:

@@ -161,6 +161,7 @@ class NMPAccelerator:
         microarch: BankMicroarchitecture | None = None,
         energy_model: DRAMEnergyModel | None = None,
         cache_stats: "HierarchyStats | None" = None,
+        sample_fraction: float = 1.0,
     ):
         self.config = config or NMPConfig()
         self.config.validate()
@@ -177,11 +178,24 @@ class NMPAccelerator:
         self.cache_stats = cache_stats
         if cache_stats is not None and cache_stats.dram_traffic_fraction <= 0:
             raise ValueError("cache_stats must describe a stream with DRAM traffic fraction > 0")
+        #: Fraction of the batch's samples that survive occupancy-grid
+        #: adaptive marching (1.0 = dense sampling).  Pruned samples skip the
+        #: hash-table lookups, the interpolation and the MLPs entirely, so
+        #: every per-point memory/compute term scales with it; the
+        #: plan-derived inter-bank traffic is kept unscaled (conservative).
+        self.sample_fraction = sample_fraction
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+
+    @property
+    def effective_points_per_iteration(self) -> float:
+        """Field-evaluated samples per iteration after occupancy pruning."""
+        return self.batch.points_per_iteration * self.sample_fraction
 
     # ------------------------------------------------------------ hash side
     def _hash_row_accesses_per_iteration(self) -> float:
         """Distinct near-bank row accesses for one iteration of HT lookups."""
-        cubes = self.batch.points_per_iteration * self.workload.grid.num_levels
+        cubes = self.effective_points_per_iteration * self.workload.grid.num_levels
         effective_cubes = cubes / self.locality.cube_sharing_run_length
         rows = effective_cubes * self.locality.row_requests_per_cube
         if self.cache_stats is not None:
@@ -192,7 +206,7 @@ class NMPAccelerator:
         """SRAM (scratchpad + cache) energy of one iteration's HT lookups."""
         if self.cache_stats is None:
             return 0.0
-        lookups = self.batch.points_per_iteration * self.workload.grid.num_levels * 8
+        lookups = self.effective_points_per_iteration * self.workload.grid.num_levels * 8
         return lookups * self.cache_stats.energy_per_access_j
 
     def _row_seconds(self, row_accesses: float, include_write_back: bool = False) -> float:
@@ -226,10 +240,12 @@ class NMPAccelerator:
         interbank_seconds = self._interbank_seconds(step, traffic)
 
         grid = wl.grid
-        points = self.batch.points_per_iteration
+        points = self.effective_points_per_iteration
         int_ops_ht = points * grid.num_levels * 8 * 12
         fp_ops_interp = points * grid.num_levels * 8 * grid.features_per_entry * 2
-        mlp_flops = wl.step(StepName.MLP_DENSITY).fp_ops + wl.step(StepName.MLP_COLOR).fp_ops
+        mlp_flops = self.sample_fraction * (
+            wl.step(StepName.MLP_DENSITY).fp_ops + wl.step(StepName.MLP_COLOR).fp_ops
+        )
 
         if step == "HT":
             rows = self._hash_row_accesses_per_iteration()
@@ -251,7 +267,11 @@ class NMPAccelerator:
             per_bank_flops = mlp_flops / cfg.num_active_banks
             compute_seconds = self.microarch.compute_seconds(per_bank_flops, 0.0, cfg.compute_efficiency)
             # Activations stream from the local row buffers.
-            bytes_per_bank = (wl.encoding_output_bytes + wl.mlp_output_bytes) / cfg.num_active_banks
+            bytes_per_bank = (
+                self.sample_fraction
+                * (wl.encoding_output_bytes + wl.mlp_output_bytes)
+                / cfg.num_active_banks
+            )
             memory_seconds = self._row_seconds(bytes_per_bank / cfg.dram.organization.row_buffer_bytes * cfg.num_active_banks)
             dynamic_j = self.microarch.compute_energy_j(mlp_flops, 0.0)
             activations = bytes_per_bank * cfg.num_active_banks / cfg.dram.organization.row_buffer_bytes
@@ -259,7 +279,11 @@ class NMPAccelerator:
             backward_flops = 2.0 * mlp_flops
             per_bank_flops = backward_flops / cfg.num_active_banks
             compute_seconds = self.microarch.compute_seconds(per_bank_flops, 0.0, cfg.compute_efficiency)
-            bytes_per_bank = (wl.encoding_output_bytes + 2 * wl.mlp_intermediate_bytes) / cfg.num_active_banks
+            bytes_per_bank = (
+                self.sample_fraction
+                * (wl.encoding_output_bytes + 2 * wl.mlp_intermediate_bytes)
+                / cfg.num_active_banks
+            )
             memory_seconds = self._row_seconds(bytes_per_bank / cfg.dram.organization.row_buffer_bytes * cfg.num_active_banks)
             dynamic_j = self.microarch.compute_energy_j(backward_flops, 0.0)
             activations = bytes_per_bank * cfg.num_active_banks / cfg.dram.organization.row_buffer_bytes

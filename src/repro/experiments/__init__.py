@@ -13,6 +13,7 @@ from .fig09_bank_conflicts import run_fig09
 from .fig10_parallelism import run_fig10
 from .fig11_speedup_energy import run_fig11
 from .fig12_cache_hit_rate import run_fig12
+from .fig13_occupancy_traffic import run_fig13
 from .runner import ExperimentResult, format_series, format_table
 from .tab01_gpu_specs import run_tab01
 from .tab02_step_sizes import run_tab02
@@ -28,6 +29,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
+    "run_fig13",
     "ExperimentResult",
     "format_series",
     "format_table",

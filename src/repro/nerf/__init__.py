@@ -7,6 +7,13 @@ from .field import InstantNGPField, RadianceField, VanillaNeRFField
 from .losses import huber_loss, mse_loss
 from .metrics import mse, psnr, ssim
 from .mlp import MLP
+from .occupancy import (
+    OccupancyGrid,
+    OccupancyGridConfig,
+    adaptive_sample_mask,
+    adaptive_sample_mask_reference,
+    sample_density_grid,
+)
 from .rays import RayBundle, generate_rays, sample_along_rays, stratified_t_values
 from .trainer import Trainer, TrainerConfig, TrainingHistory
 from .volume_rendering import RenderOutput, render_rays, render_rays_backward
@@ -28,6 +35,11 @@ __all__ = [
     "psnr",
     "ssim",
     "MLP",
+    "OccupancyGrid",
+    "OccupancyGridConfig",
+    "adaptive_sample_mask",
+    "adaptive_sample_mask_reference",
+    "sample_density_grid",
     "RayBundle",
     "generate_rays",
     "sample_along_rays",

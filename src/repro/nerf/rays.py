@@ -3,14 +3,20 @@
 Rays are parameterised as ``r(t) = o + t * d`` with the camera origin ``o``
 and unit direction ``d``.  Points are sampled along each ray either with
 uniform spacing or stratified (jittered) spacing between the near and far
-planes.
+planes.  With an occupancy grid (:mod:`repro.nerf.occupancy`) the sampler
+additionally returns the adaptive-marching keep mask, so callers evaluate
+the field only where space is occupied.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .occupancy import OccupancyGrid
 
 __all__ = ["RayBundle", "generate_rays", "sample_along_rays", "stratified_t_values"]
 
@@ -128,11 +134,24 @@ def stratified_t_values(
 def sample_along_rays(
     rays: RayBundle,
     t_values: np.ndarray,
-) -> np.ndarray:
-    """Points ``o + t * d`` for every ray/sample pair, shape ``(R, S, 3)``."""
+    occupancy: "OccupancyGrid | None" = None,
+    normalize: Callable[[np.ndarray], np.ndarray] | None = None,
+):
+    """Points ``o + t * d`` for every ray/sample pair, shape ``(R, S, 3)``.
+
+    With ``occupancy=`` the sampler switches to adaptive marching and returns
+    ``(points, mask)``: ``mask`` is the ``(R, S)`` boolean keep mask of
+    samples whose grid cell is occupied.  ``normalize`` maps world points to
+    the grid's unit cube before the query (e.g. a dataset's
+    ``normalize_positions``); without it the points are queried as-is.
+    """
     t_values = np.asarray(t_values, dtype=np.float64)
     if t_values.ndim == 1:
         t_values = np.broadcast_to(t_values, (len(rays), t_values.shape[0]))
     if t_values.shape[0] != len(rays):
         raise ValueError(f"t_values first dim {t_values.shape[0]} != number of rays {len(rays)}")
-    return rays.origins[:, None, :] + t_values[:, :, None] * rays.directions[:, None, :]
+    points = rays.origins[:, None, :] + t_values[:, :, None] * rays.directions[:, None, :]
+    if occupancy is None:
+        return points
+    unit = points if normalize is None else normalize(points)
+    return points, occupancy.occupied(unit)

@@ -20,6 +20,7 @@ from .adam import Adam
 from .field import RadianceField
 from .losses import mse_loss
 from .metrics import psnr
+from .occupancy import OccupancyGrid, OccupancyGridConfig
 from .rays import RayBundle, sample_along_rays, stratified_t_values
 from .volume_rendering import render_rays, render_rays_backward
 
@@ -33,6 +34,12 @@ class TrainerConfig:
     Paper-scale values are 35 000 iterations with 256 K sampled points per
     iteration; the defaults here are reduced so CPU training finishes in
     seconds while exercising the identical code path (see DESIGN.md §4).
+
+    With ``occupancy`` set, sampling switches to occupancy-grid adaptive ray
+    marching: the grid starts fully occupied, is refreshed from the trained
+    field every ``occupancy.update_every`` iterations, and the field is only
+    evaluated on samples whose cell is occupied (skipped samples contribute
+    zero density/color to the renderer, exactly as empty space would).
     """
 
     num_iterations: int = 300
@@ -45,15 +52,18 @@ class TrainerConfig:
     background: tuple[float, float, float] | None = (1.0, 1.0, 1.0)
     seed: int = 0
     log_every: int = 0  # 0 disables progress printing
+    occupancy: OccupancyGridConfig | None = None
 
 
 @dataclass
 class TrainingHistory:
-    """Per-iteration loss curve and timing collected by the trainer."""
+    """Per-iteration loss curve, timing and sample counts."""
 
     losses: list[float] = field(default_factory=list)
     psnrs: list[float] = field(default_factory=list)
     iteration_times: list[float] = field(default_factory=list)
+    #: Field evaluations per iteration (pruned count under occupancy mode).
+    samples_evaluated: list[int] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -66,6 +76,10 @@ class TrainingHistory:
     @property
     def total_time(self) -> float:
         return float(sum(self.iteration_times))
+
+    @property
+    def total_samples(self) -> int:
+        return int(sum(self.samples_evaluated))
 
 
 class Trainer:
@@ -83,6 +97,35 @@ class Trainer:
             weight_decay=self.config.weight_decay,
         )
         self.history = TrainingHistory()
+        self.occupancy_grid = (
+            OccupancyGrid.fully_occupied(self.config.occupancy) if self.config.occupancy else None
+        )
+        self._iterations_done = 0
+
+    # ----------------------------------------------------------- occupancy
+    def _field_density(self, unit_points: np.ndarray) -> np.ndarray:
+        """Density of the trained field at unit-cube positions (grid updates)."""
+        sigma, _ = self.field.forward(unit_points, np.zeros_like(unit_points))
+        return sigma
+
+    def _forward_masked(
+        self, flat_points: np.ndarray, flat_dirs: np.ndarray, keep: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Field forward on the kept samples only; skipped samples are empty.
+
+        Returns ``(sigma, rgb, kept_indices)`` with full-batch shapes —
+        pruned entries hold zero density and color, which is exactly what
+        dense sampling would have produced in truly empty space.
+        """
+        if keep is None or keep.all():
+            sigma, rgb = self.field.forward(flat_points, flat_dirs)
+            return sigma, rgb, None
+        kept = np.flatnonzero(keep)
+        sigma = np.zeros(flat_points.shape[0], dtype=np.float64)
+        rgb = np.zeros((flat_points.shape[0], 3), dtype=np.float64)
+        if kept.size:
+            sigma[kept], rgb[kept] = self.field.forward(flat_points[kept], flat_dirs[kept])
+        return sigma, rgb, kept
 
     # --------------------------------------------------------------- steps
     def train_step(self) -> float:
@@ -95,8 +138,14 @@ class Trainer:
         points = sample_along_rays(rays, t_values)  # (R, S, 3)
         flat_points = self.dataset.normalize_positions(points.reshape(-1, 3))
         flat_dirs = np.repeat(rays.directions, cfg.samples_per_ray, axis=0)
+        keep = None
+        if self.occupancy_grid is not None:
+            keep = self.occupancy_grid.occupied(flat_points)
 
-        sigma, rgb = self.field.forward(flat_points, flat_dirs)
+        sigma, rgb, kept = self._forward_masked(flat_points, flat_dirs, keep)
+        self.history.samples_evaluated.append(
+            flat_points.shape[0] if kept is None else int(kept.size)
+        )
         sigma = sigma.reshape(len(rays), cfg.samples_per_ray)
         rgb = rgb.reshape(len(rays), cfg.samples_per_ray, 3)
 
@@ -106,22 +155,38 @@ class Trainer:
         grad_sigma, grad_rgb = render_rays_backward(grad_pred, sigma, rgb, t_values, out, background=background)
 
         self.field.zero_grad()
-        self.field.backward(grad_sigma.reshape(-1), grad_rgb.reshape(-1, 3))
-        self.optimizer.step()
+        if kept is None:
+            self.field.backward(grad_sigma.reshape(-1), grad_rgb.reshape(-1, 3))
+        elif kept.size:
+            self.field.backward(grad_sigma.reshape(-1)[kept], grad_rgb.reshape(-1, 3)[kept])
+        if kept is None or kept.size:
+            # A fully pruned batch carries no gradient signal: stepping Adam
+            # anyway would drift every parameter on stale moments and weight
+            # decay, so the field is left untouched until samples survive.
+            self.optimizer.step()
         return loss
 
     def train(self, num_iterations: int | None = None) -> TrainingHistory:
         """Run the full loop; returns the accumulated history."""
         iters = num_iterations if num_iterations is not None else self.config.num_iterations
-        for it in range(iters):
+        for _ in range(iters):
             start = time.perf_counter()
             loss = self.train_step()
+            self._iterations_done += 1
+            if (
+                self.occupancy_grid is not None
+                and self._iterations_done % self.config.occupancy.update_every == 0
+            ):
+                self.occupancy_grid.update(self._field_density)
             elapsed = time.perf_counter() - start
             self.history.losses.append(loss)
             self.history.psnrs.append(psnr_from_mse(loss))
             self.history.iteration_times.append(elapsed)
-            if self.config.log_every and (it + 1) % self.config.log_every == 0:
-                print(f"iter {it + 1:5d}  loss {loss:.5f}  train-psnr {self.history.psnrs[-1]:.2f} dB")
+            if self.config.log_every and self._iterations_done % self.config.log_every == 0:
+                print(
+                    f"iter {self._iterations_done:5d}  loss {loss:.5f}  "
+                    f"train-psnr {self.history.psnrs[-1]:.2f} dB"
+                )
         return self.history
 
     # ----------------------------------------------------------- rendering
@@ -138,7 +203,10 @@ class Trainer:
             points = sample_along_rays(sub, t_values)
             flat_points = self.dataset.normalize_positions(points.reshape(-1, 3))
             flat_dirs = np.repeat(sub.directions, cfg.samples_per_ray, axis=0)
-            sigma, rgb = self.field.forward(flat_points, flat_dirs)
+            keep = None
+            if self.occupancy_grid is not None:
+                keep = self.occupancy_grid.occupied(flat_points)
+            sigma, rgb, _ = self._forward_masked(flat_points, flat_dirs, keep)
             sigma = sigma.reshape(len(sub), cfg.samples_per_ray)
             rgb = rgb.reshape(len(sub), cfg.samples_per_ray, 3)
             out = render_rays(sigma, rgb, t_values, background=background)

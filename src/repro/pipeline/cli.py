@@ -14,6 +14,10 @@ Subcommands
 ``report``
     Run the full suite against one shared :class:`SimulationContext` and
     write all artifacts plus a summary index.
+``bench``
+    Benchmark-suite orchestration: ``bench run`` (``--smoke`` maps to
+    ``PERF_SMOKE=1``), ``bench compare`` (the CI regression gate) and
+    ``bench list`` — see :mod:`repro.pipeline.bench`.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from ..experiments.runner import (
     write_csv_artifact,
     write_json_artifact,
 )
+from .bench import BASELINE_DIR, SUITES, compare_suites, run_suites
 from .context import SimulationContext, config_key
 from .registry import all_experiments, get_experiment, run_suite
 from .store import STORE_MISS, ArtifactStore
@@ -213,6 +218,44 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         help="shrink the training-based experiments to smoke scale",
     )
     _add_store_flags(p_report, with_resume=False)
+
+    p_bench = sub.add_parser("bench", help="run or gate the benchmark suites")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    suite_names = ", ".join(s.name for s in SUITES)
+
+    b_run = bench_sub.add_parser("run", help="run benchmark suites (pytest)")
+    b_run.add_argument("suites", nargs="*", help=f"suites to run (default: all of {suite_names})")
+    b_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="set PERF_SMOKE=1: shrink inputs and relax wall-clock floors",
+    )
+    b_run.add_argument("--root", default=".", help="repository root (default: cwd)")
+
+    b_cmp = bench_sub.add_parser("compare", help="gate fresh BENCH_*.json against baselines")
+    b_cmp.add_argument("suites", nargs="*", help=f"suites to gate (default: all of {suite_names})")
+    b_cmp.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional drop of any gated metric (default: 0.25)",
+    )
+    b_cmp.add_argument(
+        "--cap",
+        type=float,
+        default=50.0,
+        help="clamp metrics to this value before comparing (default: 50)",
+    )
+    b_cmp.add_argument(
+        "--baseline-dir",
+        default=None,
+        help=f"baseline directory (default: {BASELINE_DIR}/, stashed by `bench run`)",
+    )
+    b_cmp.add_argument("--root", default=".", help="repository root (default: cwd)")
+    b_cmp.add_argument("--json", action="store_true", help="machine-readable report")
+
+    b_list = bench_sub.add_parser("list", help="list benchmark suites")
+    b_list.add_argument("--root", default=".", help="repository root (default: cwd)")
     return parser
 
 
@@ -380,6 +423,78 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    root = Path(args.root).resolve()
+    if args.bench_command == "list":
+        for suite in SUITES:
+            bench_path = root / suite.bench_file
+            entries = "-"
+            if bench_path.exists():
+                try:
+                    payload = json.loads(bench_path.read_text())
+                except ValueError:
+                    entries = "corrupt"
+                else:
+                    entries = str(len(payload)) if isinstance(payload, list) else "snapshot"
+            print(
+                f"{suite.name:10s}  {suite.test_file:40s}  {suite.bench_file} ({entries} entries)"
+            )
+        return 0
+    if args.bench_command == "run":
+        return run_suites(root, args.suites or None, smoke=args.smoke)
+    if args.bench_command == "compare":
+        reports, exit_code = compare_suites(
+            root,
+            args.suites or None,
+            baseline_dir=args.baseline_dir,
+            max_regression=args.max_regression,
+            cap=args.cap,
+        )
+        if args.json:
+            payload = [
+                {
+                    "suite": r.suite,
+                    "notes": r.notes,
+                    "metrics": [
+                        {
+                            "section": m.section,
+                            "metric": m.metric,
+                            "baseline": m.baseline,
+                            "current": m.current,
+                            "regressed": m.regressed,
+                        }
+                        for m in r.metrics
+                    ],
+                }
+                for r in reports
+            ]
+            print(json.dumps(payload, indent=2))
+        else:
+            from .bench import _mtime_stamp
+
+            stash = root / (args.baseline_dir or BASELINE_DIR)
+            if stash.exists():
+                print(f"baselines: {stash} (stashed {_mtime_stamp(stash)})")
+            else:
+                print("baselines: no stash; trajectory history / committed entries")
+            for report in reports:
+                regressions = report.regressions
+                status = f"{len(regressions)} regression(s)" if regressions else "ok"
+                print(f"== {report.suite}: {len(report.metrics)} gated metric(s), {status} ==")
+                for note in report.notes:
+                    print(f"  note: {note}")
+                for m in report.metrics:
+                    marker = "REGRESSED" if m.regressed else "ok"
+                    print(
+                        f"  {m.section}.{m.metric}: baseline {m.baseline:.3f} -> "
+                        f"current {m.current:.3f} ({m.ratio:.2f}x) {marker}"
+                    )
+            verdict = "FAILED" if exit_code else "passed"
+            print(f"[bench compare {verdict}: max regression {args.max_regression:.0%}]")
+        return exit_code
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro`` console script)."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -400,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except (KeyError, ValueError, FileExistsError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2

@@ -45,8 +45,16 @@ from ..gpu.specs import ALL_GPUS, GPUSpec
 from ..nerf.encoding import HashGridConfig
 from ..scenes.dataset import DatasetConfig, SyntheticNeRFDataset
 from ..scenes.library import build_scene
+from ..nerf.occupancy import OccupancyGrid
 from ..workloads.steps import StepName
-from ..workloads.traces import TraceConfig, generate_batch_points, level_lookup_indices, lookup_addresses
+from ..workloads.traces import (
+    TraceConfig,
+    generate_batch_points,
+    level_lookup_indices,
+    lookup_addresses,
+    occupancy_grid_for_trace,
+    occupancy_point_mask,
+)
 from .store import STORE_MISS, ArtifactStore
 
 __all__ = ["SimulationContext", "ContextStats", "config_key"]
@@ -241,11 +249,17 @@ class SimulationContext:
 
     # ------------------------------------------------------------- traces
     def batch_points(self, trace: TraceConfig) -> np.ndarray:
-        """The sampled training-batch points for a trace configuration."""
+        """The sampled training-batch points for a trace configuration.
+
+        Points are always dense (occupancy prunes at stream emission), so
+        every occupancy variant of a trace shares one dense-keyed artifact.
+        """
+        trace = trace.dense()
         return self.memoize(("batch_points", config_key(trace)), lambda: generate_batch_points(trace))
 
     def stream_order(self, trace: TraceConfig, order: StreamingOrder) -> np.ndarray:
         """Point permutation for a streaming order (random order is seeded)."""
+        trace = trace.dense()
         key = ("stream_order", config_key(trace), order.value)
         return self.memoize(
             key,
@@ -257,10 +271,64 @@ class SimulationContext:
             ),
         )
 
+    # ---------------------------------------------------------- occupancy
+    def occupancy_densities(self, trace: TraceConfig) -> np.ndarray:
+        """Scene density estimate over the occupancy grid's cells (storable)."""
+        if trace.scene is None:
+            raise ValueError("occupancy artifacts require TraceConfig.scene to be set")
+        key = (
+            "occupancy_densities",
+            trace.scene.lower(),
+            trace.occupancy_resolution,
+            trace.scene_bound,
+        )
+        return self.memoize(
+            key, lambda: occupancy_grid_for_trace(trace).densities
+        )
+
+    def occupancy_grid(self, trace: TraceConfig) -> OccupancyGrid:
+        """The occupancy grid pruning this trace, rebuilt from stored densities."""
+        key = (
+            "occupancy_grid",
+            trace.scene.lower() if trace.scene else None,
+            trace.occupancy_resolution,
+            trace.occupancy_levels,
+            trace.occupancy_threshold,
+            trace.scene_bound,
+        )
+        return self.memoize(
+            key, lambda: occupancy_grid_for_trace(trace, densities=self.occupancy_densities(trace))
+        )
+
+    def occupancy_mask(self, trace: TraceConfig) -> np.ndarray:
+        """Flat keep mask of the trace's samples under occupancy pruning."""
+        if not trace.occupancy:
+            raise ValueError("occupancy_mask requires TraceConfig.occupancy=True")
+        key = ("occupancy_mask", config_key(trace))
+        return self.memoize(
+            key,
+            lambda: occupancy_point_mask(
+                trace, points=self.batch_points(trace), grid=self.occupancy_grid(trace)
+            ),
+        )
+
     def level_indices(
         self, grid: HashGridConfig, trace: TraceConfig, hash_fn: HashFunction, level: int
     ) -> np.ndarray:
-        """``(N, 8)`` corner table indices of the trace at one level (ray-major)."""
+        """Corner table indices of the trace at one level (ray-major).
+
+        Dense traces return the full ``(N, 8)`` stream; occupancy traces
+        return the pruned ``(K, 8)`` subset, derived from (and sharing) the
+        dense artifact.
+        """
+        if trace.occupancy:
+            key = ("pruned_level_indices", config_key(grid), config_key(trace), hash_fn.name, level)
+            return self.memoize(
+                key,
+                lambda: self.level_indices(grid, trace.dense(), hash_fn, level)[
+                    self.occupancy_mask(trace)
+                ],
+            )
         key = self._indices_key(grid, trace, hash_fn, level)
         return self.memoize(
             key,
@@ -270,7 +338,7 @@ class SimulationContext:
         )
 
     def _indices_key(self, grid, trace, hash_fn, level):
-        return ("level_indices", config_key(grid), config_key(trace), hash_fn.name, level)
+        return ("level_indices", config_key(grid), config_key(trace.dense()), hash_fn.name, level)
 
     def level_addresses(
         self,
@@ -347,6 +415,20 @@ class SimulationContext:
         def compute() -> int:
             points = self.batch_points(trace)
             perm = self.stream_order(trace, order)
+            if trace.occupancy:
+                # The pruned stream in stream order: permute, then drop the
+                # samples the occupancy grid skips.  As in the dense path, a
+                # cached dense corner-index stream spares the re-hashing.
+                keep = self.occupancy_mask(trace)[perm]
+                pruned = points.reshape(-1, 3)[perm][keep]
+                cached = self.peek(self._indices_key(grid, trace, hash_fn, level))
+                if cached is not None:
+                    return row_requests_from_corner_indices(
+                        pruned, cached[perm][keep], level, grid, None, row_bytes, trace.entry_bytes
+                    )
+                return memory_requests_for_stream(
+                    pruned, level, grid, hash_fn, None, row_bytes, trace.entry_bytes
+                )
             cached = self.peek(self._indices_key(grid, trace, hash_fn, level))
             if cached is not None:
                 return row_requests_from_corner_indices(
@@ -519,9 +601,12 @@ class SimulationContext:
         )
 
         def compute():
-            indices = self.level_indices(grid, trace, hash_fn, level)
+            indices = self.level_indices(grid, trace.dense(), hash_fn, level)
             perm = self.stream_order(trace, order)
-            addresses = lookup_addresses(indices[perm], level, grid, trace.entry_bytes)
+            ordered = indices[perm]
+            if trace.occupancy:
+                ordered = ordered[self.occupancy_mask(trace)[perm]]
+            addresses = lookup_addresses(ordered, level, grid, trace.entry_bytes)
             return hierarchy.filter_stream(addresses, entry_bytes=trace.entry_bytes)
 
         return self.memoize(key, compute)

@@ -9,17 +9,21 @@ feed :class:`repro.dram.DRAMSystem` and the NMP accelerator model.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.hashing import DenseGridIndexer, HashFunction
 from ..nerf.encoding import HashGridConfig
+from ..nerf.occupancy import OccupancyGrid, OccupancyGridConfig, adaptive_sample_mask
 
 __all__ = [
     "TraceConfig",
     "generate_batch_points",
     "generate_scene_batch_points",
+    "occupancy_grid_for_trace",
+    "occupancy_point_mask",
     "level_lookup_indices",
     "lookup_addresses",
     "HashTraceGenerator",
@@ -60,6 +64,34 @@ class TraceConfig:
     camera_radius: float = 2.2
     scene_bound: float = 1.2
     fov_degrees: float = 50.0
+    #: Occupancy-grid empty-space skipping: with ``occupancy=True`` (scene
+    #: traces only) the per-level corner-index streams drop every sample
+    #: whose occupancy-grid cell is empty, modelling iNGP's production
+    #: bitfield marching.  The sampled *points* stay dense — pruning happens
+    #: at stream emission, so pruned streams are exact subsets of dense ones.
+    occupancy: bool = False
+    occupancy_resolution: int = 32
+    occupancy_levels: int = 1
+    occupancy_threshold: float = 1e-3
+    #: Early-ray-termination transmittance threshold (0 disables): samples a
+    #: ray reaches only after its transmittance through the scene's density
+    #: has fallen below this value are dropped from the stream too.
+    occupancy_termination: float = 0.0
+
+    def dense(self) -> "TraceConfig":
+        """The occupancy-free twin of this trace (identical sampled points).
+
+        All occupancy fields are reset to their defaults so every pruned
+        variant of one trace shares a single dense artifact key.
+        """
+        defaults = {
+            f.name: f.default
+            for f in dataclasses.fields(TraceConfig)
+            if f.name.startswith("occupancy")
+        }
+        if all(getattr(self, name) == value for name, value in defaults.items()):
+            return self
+        return dataclasses.replace(self, **defaults)
 
 
 def generate_batch_points(config: TraceConfig) -> np.ndarray:
@@ -147,6 +179,81 @@ def generate_scene_batch_points(config: TraceConfig) -> np.ndarray:
     return np.clip(unit, 0.0, 1.0)
 
 
+def occupancy_grid_for_trace(
+    config: TraceConfig, densities: np.ndarray | None = None
+) -> OccupancyGrid:
+    """The occupancy grid pruning a scene trace's lookup streams.
+
+    Built from the scene's analytic density field sampled over the hash
+    grid's unit cube (conservatively supersampled), or rebuilt from a stored
+    ``densities`` estimate (the :class:`~repro.pipeline.store.ArtifactStore`
+    round-trips the estimate array, not the grid object).
+    """
+    if config.scene is None:
+        raise ValueError("occupancy pruning requires TraceConfig.scene to be set")
+    occ_config = OccupancyGridConfig(
+        resolution=config.occupancy_resolution,
+        num_levels=config.occupancy_levels,
+        density_threshold=config.occupancy_threshold,
+    )
+    if densities is not None:
+        return OccupancyGrid.from_densities(occ_config, densities)
+    from ..scenes.library import build_scene
+
+    scene = build_scene(config.scene)
+    bound = config.scene_bound
+
+    def unit_density(unit_points: np.ndarray) -> np.ndarray:
+        return scene.density(unit_points * (2.0 * bound) - bound)
+
+    return OccupancyGrid.from_density_fn(occ_config, unit_density)
+
+
+def occupancy_point_mask(
+    config: TraceConfig,
+    points: np.ndarray | None = None,
+    grid: OccupancyGrid | None = None,
+) -> np.ndarray:
+    """Flat keep mask over a trace's ``num_rays * points_per_ray`` samples.
+
+    A sample survives when its occupancy-grid cell is occupied; with
+    ``occupancy_termination > 0`` also only while the ray's transmittance
+    through the scene's density (accumulated over kept samples, world-scale
+    segment widths) still exceeds the threshold.
+    """
+    if not config.occupancy:
+        raise ValueError("occupancy_point_mask requires TraceConfig.occupancy=True")
+    if points is None:
+        points = generate_batch_points(config.dense())
+    points = np.asarray(points, dtype=np.float64).reshape(
+        config.num_rays, config.points_per_ray, 3
+    )
+    if grid is None:
+        grid = occupancy_grid_for_trace(config)
+    t_values = densities = None
+    if config.occupancy_termination > 0.0:
+        from ..scenes.library import build_scene
+
+        bound = config.scene_bound
+        world = points * (2.0 * bound) - bound
+        densities = build_scene(config.scene).density(world.reshape(-1, 3)).reshape(
+            config.num_rays, config.points_per_ray
+        )
+        # Scene samples are uniformly spaced per ray; recover the world-scale
+        # t axis from cumulative inter-sample distances.
+        step = np.linalg.norm(np.diff(world, axis=1), axis=-1)
+        step = np.concatenate([np.zeros((config.num_rays, 1)), step], axis=1)
+        t_values = np.cumsum(step, axis=1)
+    mask = adaptive_sample_mask(
+        grid,
+        points,
+        t_values=t_values,
+        densities=densities,
+        transmittance_threshold=config.occupancy_termination,
+    )
+    return mask.reshape(-1)
+
+
 def level_lookup_indices(
     points: np.ndarray,
     level: int,
@@ -207,7 +314,13 @@ def lookup_addresses(
 
 
 class HashTraceGenerator:
-    """Generates complete hash-lookup address traces for a training batch."""
+    """Generates complete hash-lookup address traces for a training batch.
+
+    With ``trace_config.occupancy`` the emitted streams are pruned by the
+    occupancy-grid keep mask: samples in empty cells (and, with termination
+    enabled, past the opaque part of the scene) issue no lookups, so every
+    pruned stream is an exact subset of its dense twin in stream order.
+    """
 
     def __init__(
         self,
@@ -218,7 +331,12 @@ class HashTraceGenerator:
         self.grid = grid_config or HashGridConfig()
         self.config = trace_config or TraceConfig()
         self.hash_fn = hash_fn or self.grid.hash_fn
-        self._points = generate_batch_points(self.config)
+        self._points = generate_batch_points(self.config.dense())
+        self.occupancy_mask: np.ndarray | None = (
+            occupancy_point_mask(self.config, points=self._points)
+            if self.config.occupancy
+            else None
+        )
 
     @property
     def points(self) -> np.ndarray:
@@ -229,12 +347,21 @@ class HashTraceGenerator:
         """Per-point corner indices at a level, optionally reordering points.
 
         ``point_order`` is a permutation over the flattened point axis (as
-        produced by :mod:`repro.core.streaming`).
+        produced by :mod:`repro.core.streaming`).  Occupancy-pruned samples
+        are dropped after the reordering, preserving stream order.
         """
         pts = self._points.reshape(-1, 3)
         if point_order is not None:
             pts = pts[point_order]
-        return level_lookup_indices(pts, level, self.grid, self.hash_fn)
+        indices = level_lookup_indices(pts, level, self.grid, self.hash_fn)
+        if self.occupancy_mask is not None:
+            keep = (
+                self.occupancy_mask
+                if point_order is None
+                else self.occupancy_mask[point_order]
+            )
+            indices = indices[keep]
+        return indices
 
     def addresses_for_level(
         self, level: int, point_order: np.ndarray | None = None, base_address: int = 0

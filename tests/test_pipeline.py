@@ -27,6 +27,7 @@ from repro.workloads.traces import TraceConfig
 EXPECTED_SPECS = (
     "fig01", "fig04", "fig06", "fig07", "fig09", "fig10", "fig11",
     "fig12_cache_hit_rate",
+    "fig13_occupancy_traffic",
     "tab01", "tab02", "tab03", "tab04",
 )
 
