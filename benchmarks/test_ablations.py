@@ -38,7 +38,9 @@ def test_ablation_subarray_speedup_sweep(benchmark):
 
     def sweep():
         return {
-            factor: NMPAccelerator(NMPConfig(subarray_parallel_speedup=factor)).scene_training_seconds()
+            factor: NMPAccelerator(
+                NMPConfig(subarray_parallel_speedup=factor)
+            ).scene_training_seconds()
             for factor in (1.0, 1.5, 2.0, 3.0)
         }
 
@@ -53,12 +55,18 @@ def test_ablation_hash_and_order_in_isolation(benchmark):
     grid = HashGridConfig(num_levels=8, table_size=2**14, max_resolution=1024)
     trace = TraceConfig(num_rays=48, points_per_ray=48, seed=0)
     points = generate_batch_points(trace).reshape(-1, 3)
-    random_order = point_order(trace.num_rays, trace.points_per_ray, StreamingOrder.RANDOM, np.random.default_rng(0))
+    random_order = point_order(
+        trace.num_rays, trace.points_per_ray, StreamingOrder.RANDOM, np.random.default_rng(0)
+    )
     level = 5
 
     def measure():
-        baseline = memory_requests_for_stream(points, level, grid, OriginalSpatialHash(), random_order)
-        hash_only = memory_requests_for_stream(points, level, grid, MortonLocalityHash(), random_order)
+        baseline = memory_requests_for_stream(
+            points, level, grid, OriginalSpatialHash(), random_order
+        )
+        hash_only = memory_requests_for_stream(
+            points, level, grid, MortonLocalityHash(), random_order
+        )
         order_only = memory_requests_for_stream(points, level, grid, OriginalSpatialHash())
         combined = memory_requests_for_stream(points, level, grid, MortonLocalityHash())
         return baseline, hash_only, order_only, combined

@@ -14,7 +14,8 @@ def test_fig01_training_time(benchmark):
     assert devices["XNX"]["modelled_s_per_scene"] > 5 * devices["2080Ti"]["modelled_s_per_scene"]
     assert devices["XNX"]["modelled_s_per_scene"] > 3600.0
     assert devices["2080Ti"]["modelled_s_per_scene"] < 1200.0
-    # Shape: hash-table steps dominate the breakdown and the bottleneck steps cover most of the time.
+    # Shape: hash-table steps dominate the breakdown and the bottleneck steps
+    # cover most of the time.
     xnx = devices["XNX"]
     assert xnx["frac_HT"] + xnx["frac_HT_b"] > 0.5
     assert xnx["bottleneck_fraction"] > 0.6

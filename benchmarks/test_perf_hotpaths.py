@@ -36,6 +36,7 @@ from repro.core.hashing import (
     average_row_requests_per_cube_reference,
 )
 from repro.core.mapping import HashTableMapper, HashTableMappingConfig
+from repro.experiments.runner import atomic_write_text
 from repro.core.streaming import (
     memory_requests_for_stream,
     memory_requests_for_stream_reference,
@@ -70,7 +71,10 @@ def _record(name: str, reference_s: float, vectorized_s: float) -> float:
         "vectorized_s": round(vectorized_s, 4),
         "speedup": round(speedup, 2),
     }
-    print(f"\n{name}: reference {reference_s:.3f}s vectorized {vectorized_s:.3f}s -> {speedup:.1f}x")
+    print(
+        f"\n{name}: reference {reference_s:.3f}s vectorized {vectorized_s:.3f}s "
+        f"-> {speedup:.1f}x"
+    )
     return speedup
 
 
@@ -94,7 +98,7 @@ def bench_trajectory():
         except (ValueError, OSError):
             trajectory = []
     trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(trajectory, indent=2) + "\n", overwrite=True)
 
 
 @pytest.fixture(scope="module")
@@ -104,7 +108,9 @@ def paper_grid():
 
 @pytest.fixture(scope="module")
 def paper_points():
-    pts = generate_batch_points(TraceConfig(num_rays=NUM_RAYS, points_per_ray=POINTS_PER_RAY, seed=0))
+    pts = generate_batch_points(
+        TraceConfig(num_rays=NUM_RAYS, points_per_ray=POINTS_PER_RAY, seed=0)
+    )
     return pts.reshape(-1, 3)
 
 
@@ -113,9 +119,17 @@ def test_memory_requests_for_stream_speedup(paper_grid, paper_points):
     hash_fn = MortonLocalityHash()
     levels = range(paper_grid.num_levels)
     memory_requests_for_stream(paper_points, 0, paper_grid, hash_fn)  # warm
-    vec_s, vec = _time(lambda: [memory_requests_for_stream(paper_points, lvl, paper_grid, hash_fn) for lvl in levels])
+    vec_s, vec = _time(
+        lambda: [
+            memory_requests_for_stream(paper_points, lvl, paper_grid, hash_fn)
+            for lvl in levels
+        ]
+    )
     ref_s, ref = _time(
-        lambda: [memory_requests_for_stream_reference(paper_points, lvl, paper_grid, hash_fn) for lvl in levels],
+        lambda: [
+            memory_requests_for_stream_reference(paper_points, lvl, paper_grid, hash_fn)
+            for lvl in levels
+        ],
         repeats=1,
     )
     assert vec == ref
@@ -136,7 +150,9 @@ def test_count_conflicts_speedup(paper_grid, paper_points):
     level = paper_grid.num_levels - 1
     mapper.count_conflicts(level, indices, parallel_points=32)  # warm
     vec_s, vec = _time(lambda: mapper.count_conflicts(level, indices, parallel_points=32))
-    ref_s, ref = _time(lambda: mapper.count_conflicts_reference(level, indices, parallel_points=32), repeats=1)
+    ref_s, ref = _time(
+        lambda: mapper.count_conflicts_reference(level, indices, parallel_points=32), repeats=1
+    )
     assert vec == ref
     speedup = _record("count_conflicts", ref_s, vec_s)
     if not SMOKE:
@@ -203,7 +219,8 @@ def test_average_row_requests_speedup(paper_grid, paper_points):
     average_row_requests_per_cube(hash_fn, base, paper_grid.table_size)  # warm
     vec_s, vec = _time(lambda: average_row_requests_per_cube(hash_fn, base, paper_grid.table_size))
     ref_s, ref = _time(
-        lambda: average_row_requests_per_cube_reference(hash_fn, base, paper_grid.table_size), repeats=1
+        lambda: average_row_requests_per_cube_reference(hash_fn, base, paper_grid.table_size),
+        repeats=1,
     )
     assert vec == ref
     speedup = _record("average_row_requests_per_cube", ref_s, vec_s)

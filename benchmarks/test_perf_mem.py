@@ -25,6 +25,7 @@ import numpy as np
 import pytest
 
 from repro.core.hashing import MortonLocalityHash
+from repro.experiments.runner import atomic_write_text
 from repro.mem import (
     CacheConfig,
     CacheHierarchy,
@@ -64,7 +65,10 @@ def _record(name: str, reference_s: float, vectorized_s: float) -> float:
         "vectorized_s": round(vectorized_s, 4),
         "speedup": round(speedup, 2),
     }
-    print(f"\n{name}: reference {reference_s:.3f}s vectorized {vectorized_s:.3f}s -> {speedup:.1f}x")
+    print(
+        f"\n{name}: reference {reference_s:.3f}s vectorized {vectorized_s:.3f}s "
+        f"-> {speedup:.1f}x"
+    )
     return speedup
 
 
@@ -88,7 +92,7 @@ def bench_trajectory():
         except (ValueError, OSError):
             trajectory = []
     trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(trajectory, indent=2) + "\n", overwrite=True)
 
 
 @pytest.fixture(scope="module")
@@ -133,7 +137,9 @@ def test_prefetch_plan_speedup(finest_level_indices):
     lines = (finest_level_indices.ravel().astype(np.int64) * 4) // 64
     plan_prefetches(lines, config)  # warm
     vec_s, (merged_vec, flags_vec) = _time(lambda: plan_prefetches(lines, config))
-    ref_s, (merged_ref, flags_ref) = _time(lambda: plan_prefetches_reference(lines, config), repeats=1)
+    ref_s, (merged_ref, flags_ref) = _time(
+        lambda: plan_prefetches_reference(lines, config), repeats=1
+    )
     np.testing.assert_array_equal(merged_vec, merged_ref)
     np.testing.assert_array_equal(flags_vec, flags_ref)
     speedup = _record("plan_prefetches", ref_s, vec_s)

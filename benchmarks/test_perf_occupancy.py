@@ -26,6 +26,7 @@ import numpy as np
 import pytest
 
 from repro.core.hashing import MortonLocalityHash
+from repro.experiments.runner import atomic_write_text
 from repro.core.streaming import StreamingOrder
 from repro.nerf import (
     HashGridConfig,
@@ -81,7 +82,7 @@ def bench_trajectory():
         except (ValueError, OSError):
             trajectory = []
     trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(trajectory, indent=2) + "\n", overwrite=True)
 
 
 @pytest.fixture(scope="module")

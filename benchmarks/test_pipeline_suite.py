@@ -58,6 +58,7 @@ from repro.experiments import (
     run_tab03,
     run_tab04,
 )
+from repro.experiments.runner import atomic_write_text
 from repro.nerf.encoding import HashGridConfig
 from repro.pipeline import ArtifactStore, SimulationContext, run_suite, sweep
 from repro.pipeline.sweep import ProcessSweepExecutor
@@ -130,7 +131,9 @@ def _legacy_fast() -> dict:
         "fig07": run_fig07(GRID16, TRACE),
         "fig09": run_fig09(SUBARRAYS, GRID16, TRACE),
         "fig10": run_fig10(),
-        "fig11": run_fig11(InstantNeRFSystem(AlgorithmConfig.instant_nerf(), GRID16, trace_config=TRACE)),
+        "fig11": run_fig11(
+            InstantNeRFSystem(AlgorithmConfig.instant_nerf(), GRID16, trace_config=TRACE)
+        ),
         "tab01": run_tab01(),
         "tab02": run_tab02(),
         "tab03": run_tab03(),
@@ -191,7 +194,7 @@ def bench_trajectory():
         if isinstance(data, list):
             trajectory = data
     trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(trajectory, indent=2) + "\n", overwrite=True)
 
 
 def test_full_suite_shared_context_faster_than_legacy():
@@ -302,7 +305,10 @@ def test_psnr_sweep_shares_datasets_across_cells():
         result = sweep("tab04", grid, workers=2, extra_params=extra, context=ctx)
         assert not result.failed
         return (
-            {(c.params["scenes"], c.params["methods"]): c.result.rows[0]["avg_psnr"] for c in result.cells},
+            {
+                (c.params["scenes"], c.params["methods"]): c.result.rows[0]["avg_psnr"]
+                for c in result.cells
+            },
             ctx,
         )
 

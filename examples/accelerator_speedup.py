@@ -50,7 +50,8 @@ def main() -> None:
     print("\n== Headline ==")
     lego_seconds = system.scene_training_seconds("lego")
     print(f"Per-scene training on the NMP accelerator: ~{lego_seconds / 60:.1f} minutes, vs "
-          f"{XNX.measured_training_s / 3600:.1f} h on XNX and {TX2.measured_training_s / 3600:.1f} h on TX2.")
+          f"{XNX.measured_training_s / 3600:.1f} h on XNX "
+          f"and {TX2.measured_training_s / 3600:.1f} h on TX2.")
 
 
 if __name__ == "__main__":

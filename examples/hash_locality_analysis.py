@@ -43,7 +43,9 @@ def main(scene: str = "lego") -> None:
 
     print(f"\n== Cube sharing and effective bandwidth on '{scene}' (Fig. 7) ==")
     print(results["fig07"].to_text())
-    print(format_series("per-level improvement", results["fig07"].column("effective_bw_improvement")))
+    print(
+        format_series("per-level improvement", results["fig07"].column("effective_bw_improvement"))
+    )
 
     print(f"\n== Bank conflicts vs subarray parallelism on '{scene}' (Fig. 9) ==")
     print(results["fig09"].to_text())
@@ -56,7 +58,9 @@ def main(scene: str = "lego") -> None:
         print(f"  group {group_index}: levels {group} -> bank {bank}")
     print("Coarse, lightly-conflicted levels share banks; each fine level gets its own bank,")
     print("balancing per-bank processing time for the HT/HT_b steps.")
-    print(f"(shared context reused {context.stats.hits} of {context.stats.total} artifact requests)")
+    print(
+        f"(shared context reused {context.stats.hits} of {context.stats.total} artifact requests)"
+    )
 
 
 if __name__ == "__main__":

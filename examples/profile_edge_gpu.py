@@ -37,7 +37,9 @@ def main() -> None:
     print(f"They cover {scene.bottleneck_fraction() * 100:.1f}% of training time "
           f"(paper: 76.4%), and every hash-table kernel is DRAM-bandwidth bound —")
     print("the motivation for the near-memory-processing accelerator of Sec. IV.")
-    print(f"(shared context reused {context.stats.hits} of {context.stats.total} artifact requests)")
+    print(
+        f"(shared context reused {context.stats.hits} of {context.stats.total} artifact requests)"
+    )
 
 
 if __name__ == "__main__":

@@ -10,7 +10,8 @@ store the experiment registry uses — re-running against the same context
 The full Table IV benchmark this builds toward is one CLI call:
 
     python -m repro run tab04 --scenes lego --methods ingp,instant-nerf
-    python -m repro sweep tab04 --grid scenes=lego,chair --grid methods=ingp,instant-nerf --workers 2
+    python -m repro sweep tab04 \\
+        --grid scenes=lego,chair --grid methods=ingp,instant-nerf --workers 2
 
 Occupancy-grid adaptive marching (empty-space skipping) and its effect on
 the hash-table traffic is the Fig. 13 extension, one CLI call away:
@@ -58,7 +59,9 @@ def main(scene: str = "lego", iterations: int = 200) -> None:
     trainer = Trainer(
         field,
         dataset,
-        TrainerConfig(num_iterations=iterations, rays_per_batch=256, samples_per_ray=48, log_every=50),
+        TrainerConfig(
+            num_iterations=iterations, rays_per_batch=256, samples_per_ray=48, log_every=50
+        ),
     )
     start = time.perf_counter()
     history = trainer.train()
@@ -70,7 +73,8 @@ def main(scene: str = "lego", iterations: int = 200) -> None:
     print(f"Held-out test PSNR: {test_psnr:.2f} dB")
     image = trainer.render_image(0)
     print(f"Rendered a {image.shape[0]}x{image.shape[1]} test view "
-          f"(mean intensity {image.mean():.3f}); paper-scale training would now continue for 35k iterations.")
+          f"(mean intensity {image.mean():.3f}); "
+          f"paper-scale training would now continue for 35k iterations.")
     print("Next: `python -m repro list` shows every registered experiment.")
 
 

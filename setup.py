@@ -27,6 +27,7 @@ setup(
             "ruff==0.8.4",
             "pytest-cov==5.0.0",
             "hypothesis==6.155.2",
+            "mypy==1.14.1",
         ],
     },
     entry_points={

@@ -39,7 +39,9 @@ class SceneComparison:
 class ComparisonModel:
     """Runs the Fig. 11 comparison for one accelerator and one GPU baseline."""
 
-    def __init__(self, accelerator: NMPAccelerator, gpu: GPUSpec, use_measured_gpu_time: bool = True):
+    def __init__(
+        self, accelerator: NMPAccelerator, gpu: GPUSpec, use_measured_gpu_time: bool = True
+    ):
         self.accelerator = accelerator
         self.gpu = gpu
         self.gpu_model = RooflineModel(gpu, workload=accelerator.workload)
@@ -112,7 +114,9 @@ class ComparisonModel:
                     "dram_traffic_fraction": stats.dram_traffic_fraction,
                     "cache_writebacks": stats.cache.writebacks,
                     "sram_energy_j_per_iteration": sram_j,
-                    "sram_energy_fraction": sram_j / iteration.energy_j if iteration.energy_j else 0.0,
+                    "sram_energy_fraction": (
+                        sram_j / iteration.energy_j if iteration.energy_j else 0.0
+                    ),
                 }
             )
         return summary

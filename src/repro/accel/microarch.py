@@ -94,11 +94,18 @@ class BankMicroarchitecture:
         if not 0 <= int_activity <= 1 or not 0 <= fp_activity <= 1:
             raise ValueError("activity factors must be in [0, 1]")
         cfg = self.config
-        int_power = cfg.int_pe_group.peak_ops_per_second * int_activity * cfg.int_pe_group.energy_pj_per_op * 1e-12 * 1e3
-        fp_power = cfg.fp_pe_group.peak_ops_per_second * fp_activity * cfg.fp_pe_group.energy_pj_per_op * 1e-12 * 1e3
-        spm_power = cfg.scratchpad.bytes_per_cycle * cfg.frequency_mhz * 1e6 * 0.5 * cfg.scratchpad.energy_pj_per_byte * 1e-12 * 1e3
+        int_group, fp_group = cfg.int_pe_group, cfg.fp_pe_group
+        int_power = (
+            int_group.peak_ops_per_second * int_activity * int_group.energy_pj_per_op * 1e-12 * 1e3
+        )
+        fp_power = (
+            fp_group.peak_ops_per_second * fp_activity * fp_group.energy_pj_per_op * 1e-12 * 1e3
+        )
+        spm_bytes_per_s = cfg.scratchpad.bytes_per_cycle * cfg.frequency_mhz * 1e6 * 0.5
+        spm_power = spm_bytes_per_s * cfg.scratchpad.energy_pj_per_byte * 1e-12 * 1e3
         static_power = 145.0  # leakage + clock tree at 28 nm
-        return int_power + fp_power + spm_power + cfg.crossbar_power_mw + cfg.controller.power_mw + static_power
+        dynamic = int_power + fp_power + spm_power
+        return dynamic + cfg.crossbar_power_mw + cfg.controller.power_mw + static_power
 
     # --------------------------------------------------------- throughput
     @property
@@ -117,7 +124,8 @@ class BankMicroarchitecture:
         return max(fp_time, int_time)
 
     def compute_energy_j(self, fp_ops: float, int_ops: float) -> float:
-        return self.config.fp_pe_group.energy_for(fp_ops) + self.config.int_pe_group.energy_for(int_ops)
+        cfg = self.config
+        return cfg.fp_pe_group.energy_for(fp_ops) + cfg.int_pe_group.energy_for(int_ops)
 
     # ---------------------------------------------------------- reporting
     def summary(self) -> dict[str, float]:

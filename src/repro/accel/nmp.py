@@ -69,12 +69,16 @@ class AlgorithmLocality:
     @classmethod
     def instant_nerf(cls) -> "AlgorithmLocality":
         """Defaults measured for Morton hashing + ray-first streaming."""
-        return cls(row_requests_per_cube=1.58, cube_sharing_run_length=3.0, bank_conflict_stall_factor=1.1)
+        return cls(
+            row_requests_per_cube=1.58, cube_sharing_run_length=3.0, bank_conflict_stall_factor=1.1
+        )
 
     @classmethod
     def ingp_baseline(cls) -> "AlgorithmLocality":
         """Defaults for the original iNGP hash with random point order."""
-        return cls(row_requests_per_cube=4.02, cube_sharing_run_length=1.05, bank_conflict_stall_factor=1.6)
+        return cls(
+            row_requests_per_cube=4.02, cube_sharing_run_length=1.05, bank_conflict_stall_factor=1.6
+        )
 
 
 @dataclass(frozen=True)
@@ -210,7 +214,8 @@ class NMPAccelerator:
         return lookups * self.cache_stats.energy_per_access_j
 
     def _row_seconds(self, row_accesses: float, include_write_back: bool = False) -> float:
-        cycles_per_access = self.ROW_ACCESS_CYCLES + (self.ROW_WRITE_CYCLES if include_write_back else 0)
+        write_back_cycles = self.ROW_WRITE_CYCLES if include_write_back else 0
+        cycles_per_access = self.ROW_ACCESS_CYCLES + write_back_cycles
         clock_hz = self.config.dram.organization.clock_mhz * 1e6
         per_bank = row_accesses / self.config.num_active_banks
         per_bank *= self.config.load_imbalance * self.locality.bank_conflict_stall_factor
@@ -218,7 +223,9 @@ class NMPAccelerator:
         return per_bank * cycles_per_access / clock_hz
 
     # ----------------------------------------------------------- step costs
-    def _interbank_seconds(self, step: str, traffic_bytes_by_category: dict[MovementCategory, float]) -> float:
+    def _interbank_seconds(
+        self, step: str, traffic_bytes_by_category: dict[MovementCategory, float]
+    ) -> float:
         bandwidth = self.config.effective_interbank_bandwidth_gbps * 1e9
         # Broadcasts (category 1 duplication) go out once over the shared bus
         # and are snooped by every bank, so they cost one tensor transfer, not
@@ -226,7 +233,9 @@ class NMPAccelerator:
         duplication = traffic_bytes_by_category.get(MovementCategory.DUPLICATION, 0.0)
         broadcast_bytes = duplication / max(1, self.config.num_active_banks - 1)
         other_bytes = sum(
-            value for cat, value in traffic_bytes_by_category.items() if cat is not MovementCategory.DUPLICATION
+            value
+            for cat, value in traffic_bytes_by_category.items()
+            if cat is not MovementCategory.DUPLICATION
         )
         return (broadcast_bytes + other_bytes) / bandwidth
 
@@ -251,42 +260,58 @@ class NMPAccelerator:
             rows = self._hash_row_accesses_per_iteration()
             memory_seconds = self._row_seconds(rows)
             compute_seconds = self.microarch.compute_seconds(
-                fp_ops_interp / cfg.num_active_banks, int_ops_ht / cfg.num_active_banks, cfg.compute_efficiency
+                fp_ops_interp / cfg.num_active_banks,
+                int_ops_ht / cfg.num_active_banks,
+                cfg.compute_efficiency,
             )
-            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht) + self._hash_sram_energy_j()
+            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht)
+            dynamic_j += self._hash_sram_energy_j()
             activations = rows
         elif step == "HT_b":
             rows = self._hash_row_accesses_per_iteration()
             memory_seconds = self._row_seconds(rows, include_write_back=True)
             compute_seconds = self.microarch.compute_seconds(
-                fp_ops_interp / cfg.num_active_banks, int_ops_ht / cfg.num_active_banks, cfg.compute_efficiency
+                fp_ops_interp / cfg.num_active_banks,
+                int_ops_ht / cfg.num_active_banks,
+                cfg.compute_efficiency,
             )
-            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht) + self._hash_sram_energy_j()
+            dynamic_j = self.microarch.compute_energy_j(fp_ops_interp, int_ops_ht)
+            dynamic_j += self._hash_sram_energy_j()
             activations = rows
         elif step == "MLP":
             per_bank_flops = mlp_flops / cfg.num_active_banks
-            compute_seconds = self.microarch.compute_seconds(per_bank_flops, 0.0, cfg.compute_efficiency)
+            compute_seconds = self.microarch.compute_seconds(
+                per_bank_flops, 0.0, cfg.compute_efficiency
+            )
             # Activations stream from the local row buffers.
             bytes_per_bank = (
                 self.sample_fraction
                 * (wl.encoding_output_bytes + wl.mlp_output_bytes)
                 / cfg.num_active_banks
             )
-            memory_seconds = self._row_seconds(bytes_per_bank / cfg.dram.organization.row_buffer_bytes * cfg.num_active_banks)
+            row_buffer_bytes = cfg.dram.organization.row_buffer_bytes
+            memory_seconds = self._row_seconds(
+                bytes_per_bank / row_buffer_bytes * cfg.num_active_banks
+            )
+            activations = bytes_per_bank * cfg.num_active_banks / row_buffer_bytes
             dynamic_j = self.microarch.compute_energy_j(mlp_flops, 0.0)
-            activations = bytes_per_bank * cfg.num_active_banks / cfg.dram.organization.row_buffer_bytes
         elif step == "MLP_b":
             backward_flops = 2.0 * mlp_flops
             per_bank_flops = backward_flops / cfg.num_active_banks
-            compute_seconds = self.microarch.compute_seconds(per_bank_flops, 0.0, cfg.compute_efficiency)
+            compute_seconds = self.microarch.compute_seconds(
+                per_bank_flops, 0.0, cfg.compute_efficiency
+            )
             bytes_per_bank = (
                 self.sample_fraction
                 * (wl.encoding_output_bytes + 2 * wl.mlp_intermediate_bytes)
                 / cfg.num_active_banks
             )
-            memory_seconds = self._row_seconds(bytes_per_bank / cfg.dram.organization.row_buffer_bytes * cfg.num_active_banks)
+            row_buffer_bytes = cfg.dram.organization.row_buffer_bytes
+            memory_seconds = self._row_seconds(
+                bytes_per_bank / row_buffer_bytes * cfg.num_active_banks
+            )
+            activations = bytes_per_bank * cfg.num_active_banks / row_buffer_bytes
             dynamic_j = self.microarch.compute_energy_j(backward_flops, 0.0)
-            activations = bytes_per_bank * cfg.num_active_banks / cfg.dram.organization.row_buffer_bytes
         else:
             raise ValueError(f"unknown step {step!r}")
 

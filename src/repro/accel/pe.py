@@ -80,12 +80,19 @@ class PEGroup:
 #: Paper Table III configuration: 256 INT32 PEs per bank at 200 MHz.  The
 #: per-op energy is a 28 nm estimate for an INT32 ALU op including operand
 #: movement from the local register file.
-INT32_PE_GROUP = PEGroup(name="int32", num_pes=256, frequency_mhz=200.0, energy_pj_per_op=2.0, area_mm2=0.9)
+INT32_PE_GROUP = PEGroup(
+    name="int32", num_pes=256, frequency_mhz=200.0, energy_pj_per_op=2.0, area_mm2=0.9
+)
 
 #: Paper Table III configuration: 256 FP32 PEs per bank at 200 MHz.  The
 #: mixed-precision datapath processes FP16 operands two per lane and fuses
 #: multiply-accumulate, so each PE retires 4 FLOPs per cycle on MLP work;
 #: the per-op energy corresponds to one such FP16 lane operation at 28 nm.
 FP32_PE_GROUP = PEGroup(
-    name="fp32", num_pes=256, frequency_mhz=200.0, ops_per_pe_per_cycle=4.0, energy_pj_per_op=1.3, area_mm2=1.8
+    name="fp32",
+    num_pes=256,
+    frequency_mhz=200.0,
+    ops_per_pe_per_cycle=4.0,
+    energy_pj_per_op=1.3,
+    area_mm2=1.8,
 )

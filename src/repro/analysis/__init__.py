@@ -1,0 +1,16 @@
+"""``repro.analysis`` — determinism-invariant static analysis for the repo.
+
+The package implements ``repro-lint`` (``python -m repro lint``): an
+AST-based linter whose rules machine-check the reproducibility invariants
+the test suite can only spot-check — no global RNG, no raw artifact writes,
+frozen config dataclasses on the canonical-key surface, no wall clock in
+artifact-producing modules, no unordered set iteration feeding artifacts,
+and no inline recomputation of context-memoized artifacts inside registered
+experiments.  See :mod:`repro.analysis.rules` for the rule table and
+:mod:`repro.analysis.engine` for the waiver syntax.
+"""
+
+from .engine import Finding, LintResult, lint_paths
+from .rules import RULES, Rule
+
+__all__ = ["Finding", "LintResult", "Rule", "RULES", "lint_paths"]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` runs the linter directly."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Command-line front end of ``repro-lint`` (``python -m repro lint``).
+
+Exit codes: 0 clean, 1 unwaived findings, 2 usage error.  ``--format
+github`` emits GitHub Actions ``::error`` annotations so CI findings land
+inline on the PR diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import LintResult, lint_paths
+from .rules import RULES
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+#: Default lint roots: the simulation stack plus the benchmark suites.
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the ``lint`` flags on ``parser`` (shared with `repro lint`)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "github"),
+        default="text",
+        help="finding format: text (file:line:col) or github (::error annotations)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RPR001,RPR004,...",
+        help="comma list of rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, summary, rationale) and exit",
+    )
+
+
+def _print_rules() -> None:
+    width = max(len(rule.summary) for rule in RULES)
+    for rule in RULES:
+        print(f"{rule.id}  {rule.summary.ljust(width)}  {rule.rationale}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint command from parsed arguments."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    rule_ids: frozenset[str] | None = None
+    if args.rules:
+        rule_ids = frozenset(r.strip().upper() for r in args.rules.split(",") if r.strip())
+        known = {rule.id for rule in RULES}
+        unknown = sorted(rule_ids - known)
+        if unknown:
+            print(
+                f"error: unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+    root = Path(args.root)
+    missing = [p for p in args.paths if not (root / p).exists() and not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    result: LintResult = lint_paths(args.paths, root=root, rule_ids=rule_ids)
+    for finding in result.findings:
+        if args.lint_format == "github":
+            print(finding.format_github())
+        else:
+            print(finding.format_text())
+    status = f"{len(result.findings)} finding(s)" if result.findings else "clean"
+    print(
+        f"[repro-lint: {result.files_checked} file(s), {status}]",
+        file=sys.stderr,
+    )
+    return 1 if result.findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism-invariant static analysis for the repro codebase.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,298 @@
+"""The ``repro-lint`` engine: file walking, waivers and rule dispatch.
+
+The engine parses every Python file under the linted roots once, builds a
+project-wide index (dataclass definitions, canonical-key root types,
+registered-experiment modules), runs the per-file rule visitors from
+:mod:`repro.analysis.rules`, and filters the raw findings through inline
+waivers.
+
+Waiver syntax
+-------------
+A finding is waived with a comment on the offending line (or a standalone
+comment on the line directly above it)::
+
+    t0 = time.perf_counter()  # repro: allow[RPR004] -- benchmark harness timing
+
+The reason after ``--`` is **required**: a waiver without one does not
+suppress anything and is itself reported as ``RPR000``.  Several rule ids
+may be waived at once: ``# repro: allow[RPR001,RPR004] -- <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "Finding",
+    "FileSource",
+    "LintResult",
+    "NameResolver",
+    "collect_waivers",
+    "lint_paths",
+    "lint_sources",
+]
+
+#: Matches waiver comments of the shape ``repro: allow[RPRxxx] -- reason``
+#: (rule ids are uppercase; the reason after the double dash is mandatory).
+WAIVER_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Z0-9,\s]+)\]" r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: Reported for syntactically broken waivers (missing reason); never waivable.
+WAIVER_RULE_ID = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  #: root-relative POSIX path
+    line: int
+    col: int
+    rule: str  #: rule id, e.g. ``"RPR001"``
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command annotation."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: Comment-only line: the waiver also covers the next code line.
+    standalone: bool
+
+
+@dataclass
+class FileSource:
+    """A parsed source file plus the per-file waiver table."""
+
+    rel: str  #: root-relative POSIX path
+    source: str
+    tree: ast.Module
+    waivers: list[Waiver] = field(default_factory=list)
+    #: ``(line, col)`` of waivers missing their required reason.
+    broken_waivers: list[tuple[int, int]] = field(default_factory=list)
+    #: line -> rule ids waived on that line (reason-bearing waivers only).
+    waived_lines: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_waived(self, line: int, rule: str) -> bool:
+        return rule in self.waived_lines.get(line, frozenset())
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class NameResolver(ast.NodeVisitor):
+    """Best-effort canonical dotted names through import aliases.
+
+    ``import numpy as np`` makes ``np.random.rand`` resolve to
+    ``numpy.random.rand``; ``from time import perf_counter as pc`` makes a
+    bare ``pc(...)`` call resolve to ``time.perf_counter``.  Unresolvable
+    expressions (calls, subscripts, locals shadowing imports) return ``None``
+    or the literal dotted text, which the rules treat conservatively.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.import_aliases: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.from_imports[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of an attribute chain / name, or ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.from_imports:
+            resolved = self.from_imports[root]
+        elif root in self.import_aliases:
+            resolved = self.import_aliases[root]
+        else:
+            resolved = root
+        parts.append(resolved)
+        return ".".join(reversed(parts))
+
+
+def collect_waivers(
+    source: str,
+) -> tuple[list[Waiver], list[tuple[int, int]], dict[int, frozenset[str]]]:
+    """Parse waiver comments out of ``source``.
+
+    Returns ``(waivers, broken, waived_lines)``: the parsed reason-bearing
+    waivers, the ``(line, col)`` sites of waivers missing the required
+    reason, and the line -> waived-rule-ids lookup (standalone comment-only
+    waivers also cover the next code line, so decorated defs and wrapped
+    statements can carry a waiver above them).
+    """
+    waivers: list[Waiver] = []
+    broken: list[tuple[int, int]] = []
+    code_lines: set[int] = set()
+    comment_tokens: list[tokenize.TokenInfo] = []
+    skip = (
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    )
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comment_tokens.append(tok)
+            elif tok.type not in skip:
+                code_lines.add(tok.start[0])
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - parse guard
+        return waivers, broken, {}
+    for tok in comment_tokens:
+        match = WAIVER_RE.search(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        rules = tuple(r.strip() for r in match.group("rules").split(",") if r.strip())
+        reason = (match.group("reason") or "").strip()
+        if not rules or not reason:
+            broken.append((line, col))
+            continue
+        waivers.append(Waiver(line, rules, reason, standalone=line not in code_lines))
+    table: dict[int, set[str]] = {}
+    for waiver in waivers:
+        covered = {waiver.line}
+        if waiver.standalone:
+            following = [ln for ln in code_lines if ln > waiver.line]
+            if following:
+                covered.add(min(following))
+        for ln in covered:
+            table.setdefault(ln, set()).update(waiver.rules)
+    return waivers, broken, {ln: frozenset(ids) for ln, ids in table.items()}
+
+
+def parse_file(path: Path, rel: str) -> FileSource | None:
+    """Parse one file into a :class:`FileSource` (``None`` on syntax error)."""
+    source = path.read_text(encoding="utf-8")
+    return parse_source(source, rel)
+
+
+def parse_source(source: str, rel: str) -> FileSource | None:
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    waivers, broken, waived_lines = collect_waivers(source)
+    return FileSource(
+        rel=rel,
+        source=source,
+        tree=tree,
+        waivers=waivers,
+        broken_waivers=broken,
+        waived_lines=waived_lines,
+    )
+
+
+def iter_python_files(paths: Iterable[Path], root: Path) -> list[tuple[Path, str]]:
+    """``(absolute, root-relative)`` pairs of every ``.py`` file, sorted."""
+    seen: dict[str, Path] = {}
+    for entry in paths:
+        entry = entry if entry.is_absolute() else root / entry
+        candidates = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for candidate in candidates:
+            try:
+                rel = candidate.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            seen.setdefault(rel, candidate)
+    return [(seen[rel], rel) for rel in sorted(seen)]
+
+
+def lint_sources(files: list[FileSource], rule_ids: frozenset[str] | None = None) -> LintResult:
+    """Run every (selected) rule over already-parsed sources."""
+    from .rules import ProjectIndex, project_findings, run_file_rules
+
+    index = ProjectIndex.build(files)
+    raw: list[Finding] = []
+    for file in files:
+        for line, col in file.broken_waivers:
+            raw.append(
+                Finding(
+                    file.rel,
+                    line,
+                    col,
+                    WAIVER_RULE_ID,
+                    "waiver is missing its required reason: "
+                    "`# repro: allow[RPRxxx] -- <why this is safe>`",
+                )
+            )
+        raw.extend(run_file_rules(file, index))
+    raw.extend(project_findings(index))
+    by_rel = {file.rel: file for file in files}
+    findings = []
+    for finding in raw:
+        if rule_ids is not None and finding.rule not in rule_ids | {WAIVER_RULE_ID}:
+            continue
+        file = by_rel.get(finding.path)
+        if (
+            finding.rule != WAIVER_RULE_ID
+            and file is not None
+            and file.is_waived(finding.line, finding.rule)
+        ):
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(findings=tuple(findings), files_checked=len(files))
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    root: Path | str = ".",
+    rule_ids: frozenset[str] | None = None,
+) -> LintResult:
+    """Lint every Python file reachable from ``paths`` (dirs recurse)."""
+    root = Path(root)
+    files: list[FileSource] = []
+    for path, rel in iter_python_files([Path(p) for p in paths], root):
+        parsed = parse_file(path, rel)
+        if parsed is not None:
+            files.append(parsed)
+    return lint_sources(files, rule_ids)

@@ -17,6 +17,7 @@ effective memory bandwidth alone).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
@@ -26,7 +27,12 @@ from ..gpu.specs import GPUSpec
 from ..nerf.encoding import HashGridConfig
 from ..workloads.steps import INGPWorkloadModel
 from ..workloads.traces import TraceConfig, generate_batch_points
-from .hashing import HashFunction, MortonLocalityHash, OriginalSpatialHash, average_row_requests_per_cube
+from .hashing import (
+    HashFunction,
+    MortonLocalityHash,
+    OriginalSpatialHash,
+    average_row_requests_per_cube,
+)
 from .streaming import StreamingOrder, point_order, points_sharing_same_cube
 
 __all__ = ["AlgorithmConfig", "InstantNeRFSystem", "SCENE_DIFFICULTY"]
@@ -65,6 +71,20 @@ class AlgorithmConfig:
         return cls(OriginalSpatialHash(), StreamingOrder.RANDOM, "ingp")
 
 
+class LocalityContext(Protocol):
+    """What :meth:`InstantNeRFSystem.measure_locality` needs from a memoized context.
+
+    :class:`repro.pipeline.context.SimulationContext` satisfies it; core does
+    not import pipeline, so the dependency stays one-directional.
+    """
+
+    def requests_per_cube(
+        self, grid: HashGridConfig, trace: TraceConfig, hash_fn: HashFunction, level: int
+    ) -> float: ...
+
+    def cube_sharing(self, trace: TraceConfig, resolution: int, order: StreamingOrder) -> float: ...
+
+
 class InstantNeRFSystem:
     """The co-designed system: algorithm configuration + NMP accelerator."""
 
@@ -74,7 +94,7 @@ class InstantNeRFSystem:
         grid_config: HashGridConfig | None = None,
         nmp_config: NMPConfig | None = None,
         trace_config: TraceConfig | None = None,
-        context=None,
+        context: LocalityContext | None = None,
     ):
         """``context`` optionally is a :class:`repro.pipeline.context.SimulationContext`
         (any object with ``batch_points``/``stream_order``/``cube_sharing``/
@@ -160,7 +180,12 @@ class InstantNeRFSystem:
         difficulty = SCENE_DIFFICULTY.get(scene, 1.0)
         return self.accelerator.scene_training_energy_j() * difficulty
 
-    def compare_against(self, gpu: GPUSpec, scenes: list[str] | None = None, use_measured_gpu_time: bool = True) -> list[SceneComparison]:
+    def compare_against(
+        self,
+        gpu: GPUSpec,
+        scenes: list[str] | None = None,
+        use_measured_gpu_time: bool = True,
+    ) -> list[SceneComparison]:
         """Fig. 11: per-scene speedup and energy efficiency against a GPU."""
         scenes = scenes or list(SCENE_DIFFICULTY)
         model = ComparisonModel(self.accelerator, gpu, use_measured_gpu_time=use_measured_gpu_time)
@@ -174,7 +199,9 @@ class InstantNeRFSystem:
         shortens only the hash-table-bound portion of an iteration.  The
         paper measures a 1.15x end-to-end boost on the 2080Ti.
         """
-        baseline = baseline or InstantNeRFSystem(AlgorithmConfig.ingp(), self.grid, trace_config=self.trace_config)
+        baseline = baseline or InstantNeRFSystem(
+            AlgorithmConfig.ingp(), self.grid, trace_config=self.trace_config
+        )
         # Effective-bandwidth improvement for hash-table traffic.
         ours = self.locality
         theirs = baseline.locality

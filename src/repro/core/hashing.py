@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from .morton import _mod_table, morton_corner_codes, morton_encode_3d, morton_hash
 
@@ -42,7 +45,7 @@ __all__ = [
 INGP_PRIMES = (1, 2_654_435_761, 805_459_861)
 
 
-def cube_vertex_offsets() -> np.ndarray:
+def cube_vertex_offsets() -> NDArray[Any]:
     """The eight ``(dx, dy, dz)`` corner offsets of a unit cube, shape (8, 3)."""
     offsets = np.array(
         [[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)],
@@ -51,7 +54,7 @@ def cube_vertex_offsets() -> np.ndarray:
     return offsets
 
 
-def cube_vertices(base_coords: np.ndarray) -> np.ndarray:
+def cube_vertices(base_coords: NDArray[Any]) -> NDArray[Any]:
     """Expand base (lower-corner) vertices into the 8 cube-corner vertices.
 
     Parameters
@@ -77,10 +80,10 @@ class HashFunction:
     #: human-readable name used in experiment tables
     name: str = "abstract"
 
-    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+    def __call__(self, coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         raise NotImplementedError
 
-    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+    def corner_hashes(self, base_coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         """Table indices of all 8 cube corners per base vertex, shape ``(N, 8)``.
 
         Semantically identical to expanding :func:`cube_vertices` and calling
@@ -109,7 +112,7 @@ class OriginalSpatialHash(HashFunction):
         if len(self.primes) != 3:
             raise ValueError("exactly three primes are required")
 
-    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+    def __call__(self, coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         coords = np.asarray(coords, dtype=np.uint64)
         if coords.shape[-1] != 3:
             raise ValueError(f"coords must have a trailing dim of 3, got {coords.shape}")
@@ -118,7 +121,7 @@ class OriginalSpatialHash(HashFunction):
         acc = acc ^ (coords[..., 2] * np.uint64(self.primes[2]))
         return _mod_table(acc, table_size)
 
-    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+    def corner_hashes(self, base_coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         # (x + dx) * p == x * p + dx * p with uint64 wraparound, so the three
         # per-axis products are computed once and each corner is two XORs.
         base = np.asarray(base_coords, dtype=np.uint64)
@@ -139,10 +142,10 @@ class MortonLocalityHash(HashFunction):
 
     name = "morton-locality"
 
-    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+    def __call__(self, coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         return morton_hash(coords, table_size)
 
-    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+    def corner_hashes(self, base_coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         # One bit-interleave of the base plus masked increments in Morton
         # space replaces eight full interleaves (see morton_corner_codes).
         if table_size <= 0:
@@ -172,13 +175,13 @@ class DenseGridIndexer(HashFunction):
             raise ValueError("resolution must be positive")
         self.resolution = int(resolution)
 
-    def __call__(self, coords: np.ndarray, table_size: int) -> np.ndarray:
+    def __call__(self, coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         coords = np.asarray(coords, dtype=np.int64)
         r = self.resolution + 1  # vertices per axis
         idx = coords[..., 0] + r * (coords[..., 1] + r * coords[..., 2])
         return (idx % table_size).astype(np.int64)
 
-    def corner_hashes(self, base_coords: np.ndarray, table_size: int) -> np.ndarray:
+    def corner_hashes(self, base_coords: NDArray[Any], table_size: int) -> NDArray[Any]:
         # Row-major indexing is affine, so each corner is the base index plus
         # a constant stride (1, r, or r*r per incremented axis).
         base = np.asarray(base_coords, dtype=np.int64)
@@ -243,7 +246,7 @@ class IndexDistanceStats:
     fraction_gt_5000: float = 0.0
 
 
-def _neighbor_pairs() -> np.ndarray:
+def _neighbor_pairs() -> NDArray[Any]:
     """Pairs of cube-corner indices that differ in exactly one coordinate."""
     offsets = cube_vertex_offsets()
     pairs = []
@@ -256,7 +259,7 @@ def _neighbor_pairs() -> np.ndarray:
 
 def index_distance_breakdown(
     hash_fn: HashFunction,
-    base_coords: np.ndarray,
+    base_coords: NDArray[Any],
     table_size: int,
 ) -> IndexDistanceStats:
     """Fig. 6: index-distance breakdown between neighbouring cube vertices.
@@ -298,7 +301,7 @@ def index_distance_breakdown(
 
 def average_row_requests_per_cube(
     hash_fn: HashFunction,
-    base_coords: np.ndarray,
+    base_coords: NDArray[Any],
     table_size: int,
     row_bytes: int = 1024,
     entry_bytes: int = 4,
@@ -325,7 +328,7 @@ def average_row_requests_per_cube(
 
 def average_row_requests_per_cube_reference(
     hash_fn: HashFunction,
-    base_coords: np.ndarray,
+    base_coords: NDArray[Any],
     table_size: int,
     row_bytes: int = 1024,
     entry_bytes: int = 4,

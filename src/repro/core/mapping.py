@@ -22,7 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..nerf.encoding import HashGridConfig
 
@@ -107,7 +110,11 @@ class BankConflictStats:
 class HashTableMapper:
     """Maps per-level hash-table indices to (bank, subarray, row) and counts conflicts."""
 
-    def __init__(self, grid_config: HashGridConfig | None = None, mapping: HashTableMappingConfig | None = None):
+    def __init__(
+        self,
+        grid_config: HashGridConfig | None = None,
+        mapping: HashTableMappingConfig | None = None,
+    ):
         self.grid = grid_config or HashGridConfig()
         self.config = mapping or HashTableMappingConfig()
         self.config.validate()
@@ -139,7 +146,9 @@ class HashTableMapper:
             return [[lvl] for lvl in range(self.grid.num_levels)]
         return default_level_groups(self.grid.num_levels)
 
-    def locate(self, level: int, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def locate(
+        self, level: int, indices: NDArray[Any]
+    ) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
         """Map table indices of one level to (bank, subarray, row-within-subarray).
 
         With ``ROW_MAJOR`` placement, consecutive rows of the level stay in
@@ -167,7 +176,9 @@ class HashTableMapper:
         return bank, subarray, row_in_subarray
 
     # ------------------------------------------------------------ conflicts
-    def count_conflicts(self, level: int, indices: np.ndarray, parallel_points: int = 32) -> BankConflictStats:
+    def count_conflicts(
+        self, level: int, indices: NDArray[Any], parallel_points: int = 32
+    ) -> BankConflictStats:
         """Count bank conflicts for a batch of lookups processed in groups.
 
         ``parallel_points`` lookups are issued together (the paper processes
@@ -217,7 +228,7 @@ class HashTableMapper:
         )
 
     def count_conflicts_reference(
-        self, level: int, indices: np.ndarray, parallel_points: int = 32
+        self, level: int, indices: NDArray[Any], parallel_points: int = 32
     ) -> BankConflictStats:
         """Nested-loop oracle for :meth:`count_conflicts`.
 

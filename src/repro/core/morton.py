@@ -17,7 +17,10 @@ millions of vertices can be encoded per call.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "separate_by_two",
@@ -43,7 +46,7 @@ _PART_MASKS = (
 )
 
 
-def separate_by_two(values: np.ndarray | int) -> np.ndarray:
+def separate_by_two(values: NDArray[Any] | int) -> NDArray[Any]:
     """Insert two zero bits between adjacent bits of each value.
 
     This is the ``f(x)`` function from paper Eq. (2).  Input values must be
@@ -69,7 +72,7 @@ def separate_by_two(values: np.ndarray | int) -> np.ndarray:
     return v
 
 
-def compact_by_two(values: np.ndarray | int) -> np.ndarray:
+def compact_by_two(values: NDArray[Any] | int) -> NDArray[Any]:
     """Inverse of :func:`separate_by_two` (keeps every third bit)."""
     v = np.asarray(values, dtype=np.uint64)
     v = v & np.uint64(0x1249249249249249)
@@ -81,7 +84,7 @@ def compact_by_two(values: np.ndarray | int) -> np.ndarray:
     return v
 
 
-def morton_encode_3d(x0: np.ndarray, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+def morton_encode_3d(x0: NDArray[Any], x1: NDArray[Any], x2: NDArray[Any]) -> NDArray[Any]:
     """Interleave three coordinate arrays into 3D Morton codes.
 
     Bit ``i`` of ``x0`` lands at bit ``3*i``, of ``x1`` at ``3*i + 1`` and of
@@ -94,7 +97,7 @@ def morton_encode_3d(x0: np.ndarray, x1: np.ndarray, x2: np.ndarray) -> np.ndarr
     return e0 | (e1 << np.uint64(1)) | (e2 << np.uint64(2))
 
 
-def morton_decode_3d(codes: np.ndarray | int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def morton_decode_3d(codes: NDArray[Any] | int) -> tuple[NDArray[Any], NDArray[Any], NDArray[Any]]:
     """Recover the three coordinates from 3D Morton codes."""
     c = np.asarray(codes, dtype=np.uint64)
     x0 = compact_by_two(c)
@@ -108,7 +111,7 @@ _AXIS_MASKS = tuple(np.uint64(0x1249249249249249 << a) for a in range(3))
 _AXIS_UNITS = tuple(np.uint64(1 << a) for a in range(3))
 
 
-def morton_corner_codes(base_codes: np.ndarray) -> np.ndarray:
+def morton_corner_codes(base_codes: NDArray[Any]) -> NDArray[Any]:
     """Morton codes of all 8 cube corners from the base (lower-corner) codes.
 
     Uses the classic masked-increment trick: to add 1 to one coordinate of an
@@ -145,7 +148,7 @@ def morton_corner_codes(base_codes: np.ndarray) -> np.ndarray:
     return out
 
 
-def morton_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
+def morton_hash(coords: NDArray[Any], table_size: int) -> NDArray[Any]:
     """Locality-sensitive hash of integer 3D vertices (paper Eq. (2)).
 
     Parameters
@@ -181,7 +184,7 @@ def morton_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
     return _mod_table(codes, table_size)
 
 
-def _mod_table(codes: np.ndarray, table_size: int) -> np.ndarray:
+def _mod_table(codes: NDArray[Any], table_size: int) -> NDArray[Any]:
     """``codes % table_size`` as int64, via a mask when ``T`` is a power of two."""
     if table_size & (table_size - 1) == 0:
         return (codes & np.uint64(table_size - 1)).astype(np.int64)

@@ -109,7 +109,9 @@ def all_data_parallel_plan() -> ParallelismPlan:
     """Ablation: data parallelism everywhere (duplicates the 25 MB hash table)."""
     return ParallelismPlan(
         name="all-data-parallel",
-        steps=tuple(StepPlan(step, ParallelismKind.DATA) for step in ("HT", "MLP", "MLP_b", "HT_b")),
+        steps=tuple(
+            StepPlan(step, ParallelismKind.DATA) for step in ("HT", "MLP", "MLP_b", "HT_b")
+        ),
     )
 
 
@@ -117,7 +119,9 @@ def all_parameter_parallel_plan() -> ParallelismPlan:
     """Ablation: parameter parallelism everywhere (duplicates the activations)."""
     return ParallelismPlan(
         name="all-parameter-parallel",
-        steps=tuple(StepPlan(step, ParallelismKind.PARAMETER) for step in ("HT", "MLP", "MLP_b", "HT_b")),
+        steps=tuple(
+            StepPlan(step, ParallelismKind.PARAMETER) for step in ("HT", "MLP", "MLP_b", "HT_b")
+        ),
     )
 
 
@@ -184,7 +188,9 @@ def analyze_plan(
         if step.endswith("_b") and kind is ParallelismKind.DATA:
             # Gradient partial sums: every bank contributes a full-size
             # parameter gradient that must be reduced.
-            categories[MovementCategory.GRADIENT_PARTIAL_SUM] = step_sizes["param"] * (num_banks - 1)
+            categories[MovementCategory.GRADIENT_PARTIAL_SUM] = step_sizes["param"] * (
+                num_banks - 1
+            )
 
         result[step] = categories
     return InterBankTraffic(per_step=result)

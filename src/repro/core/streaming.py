@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..nerf.encoding import HashGridConfig
 from .hashing import HashFunction
@@ -48,7 +51,7 @@ def point_order(
     points_per_ray: int,
     order: StreamingOrder,
     rng: np.random.Generator | None = None,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Permutation over the flattened ``(num_rays * points_per_ray,)`` point axis.
 
     Points are assumed to be laid out ray-major (all samples of ray 0, then
@@ -65,14 +68,16 @@ def point_order(
     return rng.permutation(total).astype(np.int64)
 
 
-def _cube_ids(points: np.ndarray, resolution: int) -> np.ndarray:
+def _cube_ids(points: NDArray[Any], resolution: int) -> NDArray[Any]:
     """Integer id of the cube containing each point at a given resolution."""
     pts = np.clip(np.asarray(points, dtype=np.float64).reshape(-1, 3), 0.0, 1.0)
     base = np.clip(np.floor(pts * resolution).astype(np.int64), 0, resolution - 1)
     return base[:, 0] + resolution * (base[:, 1] + resolution * base[:, 2])
 
 
-def points_sharing_same_cube(points: np.ndarray, resolution: int, order: np.ndarray | None = None) -> float:
+def points_sharing_same_cube(
+    points: NDArray[Any], resolution: int, order: NDArray[Any] | None = None
+) -> float:
     """Average run length of consecutive points that fall in the same cube.
 
     This is the Fig. 7(a) metric: for the ray-first order at coarse levels a
@@ -89,7 +94,9 @@ def points_sharing_same_cube(points: np.ndarray, resolution: int, order: np.ndar
     return float(cube_ids.size / num_runs)
 
 
-def register_hit_rate(points: np.ndarray, resolution: int, order: np.ndarray | None = None) -> float:
+def register_hit_rate(
+    points: NDArray[Any], resolution: int, order: NDArray[Any] | None = None
+) -> float:
     """Fraction of points whose cube embeddings are already in local registers.
 
     A point "hits" when the previous streamed point used the same cube, so
@@ -105,11 +112,11 @@ def register_hit_rate(points: np.ndarray, resolution: int, order: np.ndarray | N
 
 
 def _stream_bases_and_cubes(
-    points: np.ndarray,
+    points: NDArray[Any],
     level: int,
     grid_config: HashGridConfig,
-    order: np.ndarray | None,
-) -> tuple[np.ndarray, np.ndarray]:
+    order: NDArray[Any] | None,
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Per-point cube base vertices ``(N, 3)`` and cube ids ``(N,)`` in stream order."""
     pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
     if order is not None:
@@ -122,13 +129,13 @@ def _stream_bases_and_cubes(
 
 
 def _rows_for_bases(
-    base: np.ndarray,
+    base: NDArray[Any],
     level: int,
     grid_config: HashGridConfig,
     hash_fn: HashFunction,
     row_bytes: int,
     entry_bytes: int,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """DRAM row id of each of the 8 corner lookups per cube base, shape (N, 8)."""
     res = grid_config.resolutions[level]
     table_entries = grid_config.level_table_entries(level)
@@ -145,11 +152,11 @@ def _rows_for_bases(
 
 
 def memory_requests_for_stream(
-    points: np.ndarray,
+    points: NDArray[Any],
     level: int,
     grid_config: HashGridConfig,
     hash_fn: HashFunction,
-    order: np.ndarray | None = None,
+    order: NDArray[Any] | None = None,
     row_bytes: int = 1024,
     entry_bytes: int = 4,
 ) -> int:
@@ -180,7 +187,7 @@ def memory_requests_for_stream(
     return _count_row_requests(rows)
 
 
-def _count_row_requests(rows: np.ndarray) -> int:
+def _count_row_requests(rows: NDArray[Any]) -> int:
     """Row requests for a stream of per-point row ids ``(M, 8)`` (run starts only)."""
     if rows.size == 0:
         return 0
@@ -202,11 +209,11 @@ def _count_row_requests(rows: np.ndarray) -> int:
 
 
 def row_requests_from_corner_indices(
-    points: np.ndarray,
-    corner_indices: np.ndarray,
+    points: NDArray[Any],
+    corner_indices: NDArray[Any],
     level: int,
     grid_config: HashGridConfig,
-    order: np.ndarray | None = None,
+    order: NDArray[Any] | None = None,
     row_bytes: int = 1024,
     entry_bytes: int = 4,
 ) -> int:
@@ -241,11 +248,11 @@ def row_requests_from_corner_indices(
 
 
 def memory_requests_for_stream_reference(
-    points: np.ndarray,
+    points: NDArray[Any],
     level: int,
     grid_config: HashGridConfig,
     hash_fn: HashFunction,
-    order: np.ndarray | None = None,
+    order: NDArray[Any] | None = None,
     row_bytes: int = 1024,
     entry_bytes: int = 4,
 ) -> int:
@@ -303,7 +310,7 @@ class LocalityReport:
 
 
 def effective_bandwidth_improvement(
-    points: np.ndarray,
+    points: NDArray[Any],
     grid_config: HashGridConfig,
     baseline_hash: HashFunction,
     optimized_hash: HashFunction,
@@ -323,8 +330,12 @@ def effective_bandwidth_improvement(
     reports = []
     for level in range(grid_config.num_levels):
         res = grid_config.resolutions[level]
-        baseline = memory_requests_for_stream(points, level, grid_config, baseline_hash, random_order)
-        optimized = memory_requests_for_stream(points, level, grid_config, optimized_hash, ray_order)
+        baseline = memory_requests_for_stream(
+            points, level, grid_config, baseline_hash, random_order
+        )
+        optimized = memory_requests_for_stream(
+            points, level, grid_config, optimized_hash, ray_order
+        )
         reports.append(
             LocalityReport(
                 level=level,

@@ -48,7 +48,9 @@ class AddressMapper:
         self.org.validate()
         self._column_bits = int(np.log2(self.org.row_buffer_bytes))
         self._bank_bits = int(np.ceil(np.log2(self.org.banks_per_chip)))
-        self._channel_bits = int(np.ceil(np.log2(self.org.num_channels))) if self.org.num_channels > 1 else 0
+        self._channel_bits = (
+            int(np.ceil(np.log2(self.org.num_channels))) if self.org.num_channels > 1 else 0
+        )
         if 2**self._column_bits != self.org.row_buffer_bytes:
             raise ValueError("row_buffer_bytes must be a power of two")
 

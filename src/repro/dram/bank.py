@@ -53,20 +53,25 @@ class Bank:
     def __init__(self, spec: DRAMSpec, bank_id: int = 0, subarrays: int | None = None):
         self.spec = spec
         self.bank_id = bank_id
-        self.num_subarrays = subarrays if subarrays is not None else spec.organization.subarrays_per_bank
+        default_subarrays = spec.organization.subarrays_per_bank
+        self.num_subarrays = subarrays if subarrays is not None else default_subarrays
         if self.num_subarrays <= 0:
             raise ValueError("a bank needs at least one subarray")
         self.state = BankState()
 
     # ----------------------------------------------------------- internals
-    def _row_cycle_latencies(self, row_hit: bool, is_write: bool, precharge_needed: bool = True) -> int:
+    def _row_cycle_latencies(
+        self, row_hit: bool, is_write: bool, precharge_needed: bool = True
+    ) -> int:
         t = self.spec.timing
         if row_hit:
             # Column access straight out of the open row buffer.
             latency = t.tCL + t.tCCD if not is_write else t.tWR + t.tCCD
         else:
             # Precharge (only if a different row was open) + activate + column access.
-            latency = (t.tRP if precharge_needed else 0) + t.tRCD + (t.tCL if not is_write else t.tWR)
+            latency = (
+                (t.tRP if precharge_needed else 0) + t.tRCD + (t.tCL if not is_write else t.tWR)
+            )
         return latency
 
     # ----------------------------------------------------------------- API

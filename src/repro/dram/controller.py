@@ -73,7 +73,13 @@ class ChannelController:
             self._recent_activations = self._recent_activations[-8:]
 
     def _service_decoded(
-        self, bank_idx: int, subarray: int, row: int, is_write: bool, arrival_cycle: int, size_bytes: int
+        self,
+        bank_idx: int,
+        subarray: int,
+        row: int,
+        is_write: bool,
+        arrival_cycle: int,
+        size_bytes: int,
     ) -> int:
         """Service one already-decoded request; returns its data-ready cycle."""
         org = self.spec.organization

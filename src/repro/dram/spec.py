@@ -82,7 +82,9 @@ class DRAMOrganization:
     # ------------------------------------------------------ derived values
     @property
     def num_banks_total(self) -> int:
-        return self.num_channels * self.ranks_per_channel * self.chips_per_rank * self.banks_per_chip
+        return (
+            self.num_channels * self.ranks_per_channel * self.chips_per_rank * self.banks_per_chip
+        )
 
     @property
     def bank_capacity_bytes(self) -> int:

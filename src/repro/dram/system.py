@@ -65,7 +65,9 @@ class DRAMSystem:
         for channel in self.channels:
             channel.reset()
 
-    def service_requests(self, requests: list[MemoryRequest], near_bank: bool = False) -> TraceResult:
+    def service_requests(
+        self, requests: list[MemoryRequest], near_bank: bool = False
+    ) -> TraceResult:
         """Service a request trace and summarise timing, locality and energy.
 
         Parameters
@@ -102,7 +104,9 @@ class DRAMSystem:
         near_bank: bool = False,
     ) -> TraceResult:
         """Convenience wrapper building a back-pressured trace from addresses."""
-        return self.service_batch(addresses, request_type=request_type, size_bytes=size_bytes, near_bank=near_bank)
+        return self.service_batch(
+            addresses, request_type=request_type, size_bytes=size_bytes, near_bank=near_bank
+        )
 
     def service_batch(
         self,
@@ -132,7 +136,9 @@ class DRAMSystem:
                 chunk = addresses[channels == c]
                 if chunk.size:
                     finish_cycles.append(
-                        self.channels[c].service_batch(chunk, request_type=request_type, size_bytes=size_bytes)
+                        self.channels[c].service_batch(
+                            chunk, request_type=request_type, size_bytes=size_bytes
+                        )
                     )
         total_cycles = int(max(finish_cycles)) if finish_cycles else 0
         return self._summarise(total_cycles, near_bank=near_bank)

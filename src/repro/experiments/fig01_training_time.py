@@ -42,7 +42,8 @@ def run_fig01(
         rows=rows,
         notes=(
             "Times come from the roofline model driven by Table II traffic and the paper's "
-            "measured per-step DRAM utilizations; the paper's absolute numbers are listed for reference."
+            "measured per-step DRAM utilizations; the paper's absolute numbers are "
+            "listed for reference."
         ),
     )
 

@@ -52,7 +52,10 @@ def run_fig04(
         experiment_id="Fig. 4",
         description=f"DRAM throughput and ALU/FPU utilization of bottleneck kernels on {gpu.name}",
         rows=rows,
-        notes="Paper: DRAM utilization is 5.24x-21.44x the FPU/ALU utilization; all kernels memory-bound.",
+        notes=(
+            "Paper: DRAM utilization is 5.24x-21.44x the FPU/ALU utilization; "
+            "all kernels memory-bound."
+        ),
     )
 
 

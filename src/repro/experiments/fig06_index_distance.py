@@ -56,11 +56,15 @@ def run_fig06(
         rows.append(row)
     return ExperimentResult(
         experiment_id="Fig. 6",
-        description="Index-distance breakdown between neighbouring cube vertices (Morton vs original hash)",
+        description=(
+            "Index-distance breakdown between neighbouring cube vertices "
+            "(Morton vs original hash)"
+        ),
         rows=rows,
         notes=(
-            "Paper: Morton keeps 82% of neighbour distances <=16 entries and none >5000, needing 1.58 "
-            "row requests/cube; the original hash keeps only 55.4% <=16, 22.7% >5000 and needs 4.02."
+            "Paper: Morton keeps 82% of neighbour distances <=16 entries and none "
+            ">5000, needing 1.58 row requests/cube; the original hash keeps only "
+            "55.4% <=16, 22.7% >5000 and needs 4.02."
         ),
     )
 

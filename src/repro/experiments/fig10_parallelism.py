@@ -41,8 +41,9 @@ def run_fig10(num_banks: int = 16, workload: INGPWorkloadModel | None = None) ->
         description="Inter-bank data movement (MB/iteration) by parallelism plan and category",
         rows=rows,
         notes=(
-            "Paper: the heterogeneous plan duplicates only the small objects (MLP weights, HT inputs), "
-            "keeps intra-step movement at zero and restricts gradient partial sums to the tiny MLPs."
+            "Paper: the heterogeneous plan duplicates only the small objects "
+            "(MLP weights, HT inputs), keeps intra-step movement at zero and "
+            "restricts gradient partial sums to the tiny MLPs."
         ),
     )
 

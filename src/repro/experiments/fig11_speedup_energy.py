@@ -47,7 +47,9 @@ def run_fig11(
     for scene in scenes:
         row: dict = {"scene": scene}
         for gpu in (TX2, XNX):
-            comparisons = system.compare_against(gpu, [scene], use_measured_gpu_time=use_measured_gpu_time)
+            comparisons = system.compare_against(
+                gpu, [scene], use_measured_gpu_time=use_measured_gpu_time
+            )
             comparison = comparisons[0]
             row[f"speedup_vs_{gpu.name}"] = comparison.speedup
             row[f"energy_improvement_vs_{gpu.name}"] = comparison.energy_efficiency_improvement
@@ -63,7 +65,8 @@ def run_fig11(
         description="Instant-NeRF accelerator speedup and energy-efficiency vs TX2/XNX, per scene",
         rows=rows,
         notes=(
-            "Paper ranges: 109.5x-266.1x (TX2) and 22.0x-49.3x (XNX) speedup; 172.9x-420.3x (TX2) and "
+            "Paper ranges: 109.5x-266.1x (TX2) and 22.0x-49.3x (XNX) speedup; "
+            "172.9x-420.3x (TX2) and "
             "46.4x-103.7x (XNX) energy-efficiency improvement."
         ),
     )

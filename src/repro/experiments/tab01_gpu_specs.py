@@ -24,14 +24,19 @@ def run_tab01() -> ExperimentResult:
                 "l2_cache_mb": gpu.l2_cache_mb,
                 "fp32_gflops": gpu.fp32_gflops,
                 "fp16_gflops": gpu.fp16_gflops,
-                "training_s_per_scene": gpu.measured_training_s if gpu.measured_training_s else float("nan"),
+                "training_s_per_scene": (
+                    gpu.measured_training_s if gpu.measured_training_s else float("nan")
+                ),
             }
         )
     return ExperimentResult(
         experiment_id="Table I",
         description="Specifications of the considered SOTA GPUs",
         rows=rows,
-        notes="Values transcribed from the paper; used as inputs to the roofline and energy models.",
+        notes=(
+            "Values transcribed from the paper; used as inputs to the roofline "
+            "and energy models."
+        ),
     )
 
 

@@ -31,7 +31,10 @@ def run_tab03(
         {"parameter": "Subarrays per bank", "value": org.subarrays_per_bank},
         {"parameter": "Row buffer (KB)", "value": org.row_buffer_bytes / 1024},
         {"parameter": "Peak ext. bandwidth (GB/s)", "value": org.peak_bandwidth_gbps},
-        {"parameter": "tRCD / tRP / tRAS / tCCD", "value": f"{timing.tRCD}/{timing.tRP}/{timing.tRAS}/{timing.tCCD}"},
+        {
+            "parameter": "tRCD / tRP / tRAS / tCCD",
+            "value": f"{timing.tRCD}/{timing.tRP}/{timing.tRAS}/{timing.tCCD}",
+        },
         {"parameter": "tRRD / tFAW / tWR", "value": f"{timing.tRRD}/{timing.tFAW}/{timing.tWR}"},
         {"parameter": "Microarch technology (nm)", "value": summary["technology_nm"]},
         {"parameter": "Microarch frequency (MHz)", "value": summary["frequency_mhz"]},
@@ -48,7 +51,10 @@ def run_tab03(
         experiment_id="Table III",
         description="Instant-NeRF accelerator parameters, area and power",
         rows=rows,
-        notes="Paper: 3.6 mm^2 (1.5% of a bank) and 596.3 mW per microarchitecture at 28 nm / 200 MHz.",
+        notes=(
+            "Paper: 3.6 mm^2 (1.5% of a bank) and 596.3 mW per microarchitecture "
+            "at 28 nm / 200 MHz."
+        ),
     )
 
 

@@ -147,11 +147,14 @@ def run_tab04(
         rows.append(row)
     return ExperimentResult(
         experiment_id="Table IV",
-        description="PSNR of NeRF training algorithms on procedural stand-in scenes (reduced scale)",
+        description=(
+            "PSNR of NeRF training algorithms on procedural stand-in scenes (reduced scale)"
+        ),
         rows=rows,
         notes=(
-            "Absolute PSNR is lower than the paper's (tiny images, short schedules, procedural scenes); "
-            "the reproduced shape is the ordering and the small iNGP-vs-Instant-NeRF gap (paper: 0.23 dB)."
+            "Absolute PSNR is lower than the paper's (tiny images, short schedules, "
+            "procedural scenes); the reproduced shape is the ordering and the small "
+            "iNGP-vs-Instant-NeRF gap (paper: 0.23 dB)."
         ),
     )
 

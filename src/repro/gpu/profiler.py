@@ -116,4 +116,8 @@ class GPUProfiler:
     def bottleneck_steps(self, threshold: float = 0.05) -> list[StepName]:
         """Steps that exceed ``threshold`` of total training time."""
         breakdown = self.model.breakdown()
-        return [name for name in StepName if breakdown[name.value] >= threshold and name is not StepName.OTHER]
+        return [
+            name
+            for name in StepName
+            if breakdown[name.value] >= threshold and name is not StepName.OTHER
+        ]

@@ -36,7 +36,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "MISS",
@@ -113,7 +116,9 @@ class CacheConfig:
         return self.capacity_bytes // self.line_bytes
 
     @classmethod
-    def fully_associative(cls, capacity_bytes: int, line_bytes: int = 64, **kwargs) -> "CacheConfig":
+    def fully_associative(
+        cls, capacity_bytes: int, line_bytes: int = 64, **kwargs: Any
+    ) -> "CacheConfig":
         """A single-set cache whose associativity equals its line count."""
         return cls(
             capacity_bytes=capacity_bytes,
@@ -177,7 +182,7 @@ class CacheStats:
         return (lookups * config.access_energy_pj + moved * config.fill_energy_pj_per_byte) * 1e-12
 
 
-def _as_flags(flags: np.ndarray | None, n: int, name: str) -> np.ndarray:
+def _as_flags(flags: NDArray[Any] | None, n: int, name: str) -> NDArray[Any]:
     if flags is None:
         return np.zeros(n, dtype=bool)
     out = np.asarray(flags, dtype=bool).ravel()
@@ -187,7 +192,7 @@ def _as_flags(flags: np.ndarray | None, n: int, name: str) -> np.ndarray:
 
 
 def _build_stats(
-    outcomes: np.ndarray, writebacks: int, useful: int, dirty_left: int, config: CacheConfig
+    outcomes: NDArray[Any], writebacks: int, useful: int, dirty_left: int, config: CacheConfig
 ) -> CacheStats:
     counts = np.bincount(outcomes, minlength=5)
     return CacheStats(
@@ -206,11 +211,11 @@ def _build_stats(
 
 
 def simulate_cache(
-    line_ids: np.ndarray,
+    line_ids: NDArray[Any],
     config: CacheConfig,
-    is_write: np.ndarray | None = None,
-    is_prefetch: np.ndarray | None = None,
-) -> tuple[np.ndarray, CacheStats]:
+    is_write: NDArray[Any] | None = None,
+    is_prefetch: NDArray[Any] | None = None,
+) -> tuple[NDArray[Any], CacheStats]:
     """Simulate a line-access stream; returns per-access outcomes and stats.
 
     Parameters
@@ -348,11 +353,11 @@ def simulate_cache(
 
 
 def simulate_cache_reference(
-    line_ids: np.ndarray,
+    line_ids: NDArray[Any],
     config: CacheConfig,
-    is_write: np.ndarray | None = None,
-    is_prefetch: np.ndarray | None = None,
-) -> tuple[np.ndarray, CacheStats]:
+    is_write: NDArray[Any] | None = None,
+    is_prefetch: NDArray[Any] | None = None,
+) -> tuple[NDArray[Any], CacheStats]:
     """Per-access loop oracle for :func:`simulate_cache`.
 
     One plain-Python state machine step per access; kept as the reference
@@ -369,7 +374,7 @@ def simulate_cache_reference(
     num_sets, ways, mshr = config.num_sets, config.ways, config.mshr_latency
 
     # Per set, per way: [tag, last_used, dirty, fill_done, prefetched]
-    state: dict[int, list[list]] = {}
+    state: dict[int, list[list[int]]] = {}
     writebacks = 0
     useful = 0
     for p in range(n):

@@ -27,10 +27,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..accel.scratchpad import Scratchpad
-from .cache import MISS, PREFETCH_FILL, CacheConfig, CacheStats, simulate_cache, simulate_cache_reference
+from .cache import (
+    MISS,
+    PREFETCH_FILL,
+    CacheConfig,
+    CacheStats,
+    simulate_cache,
+    simulate_cache_reference,
+)
 from .prefetch import PrefetcherConfig, plan_prefetches, plan_prefetches_reference
 
 __all__ = [
@@ -42,7 +52,7 @@ __all__ = [
 ]
 
 
-def scratchpad_filter(lines: np.ndarray, capacity_lines: int) -> np.ndarray:
+def scratchpad_filter(lines: NDArray[Any], capacity_lines: int) -> NDArray[Any]:
     """Mask of accesses that miss the L0 scratchpad window, shape ``(N, P)``.
 
     ``lines`` holds the line id of each of the ``P`` lookups of ``N``
@@ -74,7 +84,7 @@ def scratchpad_filter(lines: np.ndarray, capacity_lines: int) -> np.ndarray:
     return first & ~held
 
 
-def scratchpad_filter_reference(lines: np.ndarray, capacity_lines: int) -> np.ndarray:
+def scratchpad_filter_reference(lines: NDArray[Any], capacity_lines: int) -> NDArray[Any]:
     """Per-point loop oracle for :func:`scratchpad_filter`."""
     if capacity_lines <= 0:
         raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
@@ -156,22 +166,22 @@ class FilteredStream:
 
     line_bytes: int
     #: L0-surviving demand line ids, in stream order (the L1 input).
-    demand_lines: np.ndarray = field(repr=False)
+    demand_lines: NDArray[Any] = field(repr=False)
     #: Demand + injected prefetch accesses, and the per-access flags/outcomes.
-    merged_lines: np.ndarray = field(repr=False)
-    is_prefetch: np.ndarray = field(repr=False)
-    outcomes: np.ndarray = field(repr=False)
+    merged_lines: NDArray[Any] = field(repr=False)
+    is_prefetch: NDArray[Any] = field(repr=False)
+    outcomes: NDArray[Any] = field(repr=False)
     #: Line ids fetched from DRAM (demand misses + prefetch fills), stream order.
-    dram_lines: np.ndarray = field(repr=False)
+    dram_lines: NDArray[Any] = field(repr=False)
     stats: HierarchyStats = None
 
     @property
-    def demand_addresses(self) -> np.ndarray:
+    def demand_addresses(self) -> NDArray[Any]:
         """Byte addresses of the uncached-baseline DRAM requests."""
         return self.demand_lines * self.line_bytes
 
     @property
-    def dram_addresses(self) -> np.ndarray:
+    def dram_addresses(self) -> NDArray[Any]:
         """Byte addresses of the lines that must actually be fetched."""
         return self.dram_lines * self.line_bytes
 
@@ -191,7 +201,7 @@ class CacheHierarchy:
         self.capacity_lines = max(1, self.scratchpad.capacity_bytes // self.cache.line_bytes)
 
     # ----------------------------------------------------------- simulation
-    def _prepare(self, addresses: np.ndarray, accesses_per_point: int) -> np.ndarray:
+    def _prepare(self, addresses: NDArray[Any], accesses_per_point: int) -> NDArray[Any]:
         addr = np.asarray(addresses, dtype=np.int64).ravel()
         if accesses_per_point <= 0:
             raise ValueError("accesses_per_point must be positive")
@@ -206,11 +216,11 @@ class CacheHierarchy:
 
     def _assemble(
         self,
-        lines: np.ndarray,
-        emit: np.ndarray,
-        merged: np.ndarray,
-        is_prefetch: np.ndarray,
-        outcomes: np.ndarray,
+        lines: NDArray[Any],
+        emit: NDArray[Any],
+        merged: NDArray[Any],
+        is_prefetch: NDArray[Any],
+        outcomes: NDArray[Any],
         cache_stats: CacheStats,
         entry_bytes: int,
     ) -> FilteredStream:
@@ -243,7 +253,7 @@ class CacheHierarchy:
 
     def filter_stream(
         self,
-        addresses: np.ndarray,
+        addresses: NDArray[Any],
         accesses_per_point: int = 8,
         writes: bool = False,
         entry_bytes: int = 4,
@@ -268,7 +278,7 @@ class CacheHierarchy:
 
     def filter_stream_reference(
         self,
-        addresses: np.ndarray,
+        addresses: NDArray[Any],
         accesses_per_point: int = 8,
         writes: bool = False,
         entry_bytes: int = 4,

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["PREFETCH_POLICIES", "PrefetcherConfig", "plan_prefetches", "plan_prefetches_reference"]
 
@@ -47,15 +50,16 @@ class PrefetcherConfig:
     def validate(self) -> None:
         if self.policy not in PREFETCH_POLICIES:
             raise ValueError(
-                f"unknown prefetch policy {self.policy!r}; available: {', '.join(PREFETCH_POLICIES)}"
+                f"unknown prefetch policy {self.policy!r}; "
+                f"available: {', '.join(PREFETCH_POLICIES)}"
             )
         if self.degree <= 0:
             raise ValueError(f"degree must be positive, got {self.degree}")
 
 
 def plan_prefetches(
-    line_ids: np.ndarray, config: PrefetcherConfig
-) -> tuple[np.ndarray, np.ndarray]:
+    line_ids: NDArray[Any], config: PrefetcherConfig
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Merge prefetch accesses into a demand line stream.
 
     Returns ``(merged_line_ids, is_prefetch)`` with every prefetch access
@@ -104,8 +108,8 @@ def plan_prefetches(
 
 
 def plan_prefetches_reference(
-    line_ids: np.ndarray, config: PrefetcherConfig
-) -> tuple[np.ndarray, np.ndarray]:
+    line_ids: NDArray[Any], config: PrefetcherConfig
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Per-access state-machine oracle for :func:`plan_prefetches`."""
     demand = np.asarray(line_ids, dtype=np.int64).ravel()
     merged: list[int] = []

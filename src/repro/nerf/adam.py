@@ -30,7 +30,9 @@ class Adam:
             raise ValueError("parameters and gradients must have the same length")
         for p, g in zip(parameters, gradients):
             if p.shape != g.shape:
-                raise ValueError(f"parameter shape {p.shape} does not match gradient shape {g.shape}")
+                raise ValueError(
+                    f"parameter shape {p.shape} does not match gradient shape {g.shape}"
+                )
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         self.parameters = parameters

@@ -52,10 +52,14 @@ class FastNeRFField(RadianceField):
             rng=rng,
         )
         # F_dir: D mixing weights.
-        self.dir_mlp = MLP([self.dir_encoding.output_dim, hidden_dim // 2, self.num_components], rng=rng)
+        self.dir_mlp = MLP(
+            [self.dir_encoding.output_dim, hidden_dim // 2, self.num_components], rng=rng
+        )
         self._cache: dict | None = None
 
-    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def forward(
+        self, positions: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions, directions = _check_inputs(positions, directions)
         n = positions.shape[0]
         d = self.num_components
@@ -120,7 +124,9 @@ class _LineFactorSet:
             raise ValueError("rank must be positive and resolution >= 2")
         self.rank = rank
         self.resolution = resolution
-        self.lines = [rng.normal(0.0, scale, size=(rank, resolution)).astype(np.float32) for _ in range(3)]
+        self.lines = [
+            rng.normal(0.0, scale, size=(rank, resolution)).astype(np.float32) for _ in range(3)
+        ]
         self.grads = [np.zeros_like(line) for line in self.lines]
         self._cache: dict | None = None
 
@@ -190,7 +196,9 @@ class TensoRFField(RadianceField):
         self.appearance_factors = _LineFactorSet(appearance_rank, resolution, rng)
         self.appearance_features = int(appearance_features)
         # Per-rank feature basis mapping appearance ranks to a feature vector.
-        self.basis = rng.normal(0.0, 0.2, size=(appearance_rank, appearance_features)).astype(np.float32)
+        self.basis = rng.normal(0.0, 0.2, size=(appearance_rank, appearance_features)).astype(
+            np.float32
+        )
         self.basis_grad = np.zeros_like(self.basis)
         self.dir_encoding = FrequencyEncoding(3, dir_frequencies, include_input=True)
         self.color_mlp = MLP(
@@ -199,7 +207,9 @@ class TensoRFField(RadianceField):
         )
         self._cache: dict | None = None
 
-    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def forward(
+        self, positions: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions, directions = _check_inputs(positions, directions)
         density_prod = self.density_factors.evaluate(positions)  # (N, Rd)
         sigma_logit = density_prod.sum(axis=1)

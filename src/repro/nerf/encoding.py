@@ -44,7 +44,7 @@ def level_resolutions(num_levels: int, base_resolution: int, max_resolution: int
     return [int(np.floor(base_resolution * growth**level)) for level in range(num_levels)]
 
 
-@dataclass
+@dataclass(frozen=True)
 class HashGridConfig:
     """Configuration of the multi-resolution hash table.
 
@@ -96,14 +96,18 @@ class HashGridEncoding:
     into the embedding tables with the same trilinear weights.
     """
 
-    def __init__(self, config: HashGridConfig | None = None, rng: np.random.Generator | None = None):
+    def __init__(
+        self, config: HashGridConfig | None = None, rng: np.random.Generator | None = None
+    ):
         self.config = config or HashGridConfig()
         rng = rng or np.random.default_rng(0)
         # iNGP initialises embeddings uniformly in [-1e-4, 1e-4].
         self.embeddings: list[np.ndarray] = [
-            rng.uniform(-1e-4, 1e-4, size=(self.config.level_table_entries(lvl), self.config.features_per_entry)).astype(
-                np.float32
-            )
+            rng.uniform(
+                -1e-4,
+                1e-4,
+                size=(self.config.level_table_entries(lvl), self.config.features_per_entry),
+            ).astype(np.float32)
             for lvl in range(self.config.num_levels)
         ]
         self.grads: list[np.ndarray] = [np.zeros_like(e) for e in self.embeddings]
@@ -128,7 +132,9 @@ class HashGridEncoding:
         return int(sum(e.size for e in self.embeddings))
 
     # ------------------------------------------------------- index helpers
-    def vertex_indices(self, positions: np.ndarray, level: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def vertex_indices(
+        self, positions: np.ndarray, level: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Hash-table indices and interpolation weights for one level.
 
         Parameters
@@ -334,7 +340,9 @@ class HashGridEncoding:
             g_feat = grad_output[:, lo : lo + cfg.features_per_entry]  # (N, F)
             # dL/d emb[idx] = w * g_feat, scatter-added over the 8 corners.
             contrib = w[:, :, None] * g_feat[:, None, :]  # (N, 8, F)
-            np.add.at(self.grads[level], idx.reshape(-1), contrib.reshape(-1, cfg.features_per_entry))
+            np.add.at(
+                self.grads[level], idx.reshape(-1), contrib.reshape(-1, cfg.features_per_entry)
+            )
 
 
 class FrequencyEncoding:

@@ -24,7 +24,9 @@ class RadianceField:
 
     name: str = "abstract"
 
-    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def forward(
+        self, positions: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(sigma, rgb)`` with shapes ``(N,)`` and ``(N, 3)``."""
         raise NotImplementedError
 
@@ -82,7 +84,9 @@ class InstantNGPField(RadianceField):
         rng = rng or np.random.default_rng(0)
         self.encoding = HashGridEncoding(grid_config, rng=rng)
         self.geo_features = int(geo_features)
-        self.dir_encoding = FrequencyEncoding(input_dim=3, num_frequencies=dir_frequencies, include_input=True)
+        self.dir_encoding = FrequencyEncoding(
+            input_dim=3, num_frequencies=dir_frequencies, include_input=True
+        )
         self.density_mlp = MLP(
             [self.encoding.output_dim, hidden_dim, 1 + self.geo_features],
             hidden_activation="relu",
@@ -98,7 +102,9 @@ class InstantNGPField(RadianceField):
         self._cache: dict | None = None
 
     # ------------------------------------------------------------- forward
-    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def forward(
+        self, positions: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions, directions = _check_inputs(positions, directions)
         features = self.encoding.forward(positions)  # (N, L*F)  -- "HT"
         h = self.density_mlp.forward(features)  # (N, 1+geo)  -- "MLPd"
@@ -144,10 +150,18 @@ class InstantNGPField(RadianceField):
 
     # ---------------------------------------------------------- parameters
     def parameters(self) -> list[np.ndarray]:
-        return [*self.encoding.parameters(), *self.density_mlp.parameters(), *self.color_mlp.parameters()]
+        return [
+            *self.encoding.parameters(),
+            *self.density_mlp.parameters(),
+            *self.color_mlp.parameters(),
+        ]
 
     def gradients(self) -> list[np.ndarray]:
-        return [*self.encoding.gradients(), *self.density_mlp.gradients(), *self.color_mlp.gradients()]
+        return [
+            *self.encoding.gradients(),
+            *self.density_mlp.gradients(),
+            *self.color_mlp.gradients(),
+        ]
 
     def zero_grad(self) -> None:
         self.encoding.zero_grad()
@@ -176,14 +190,20 @@ class VanillaNeRFField(RadianceField):
         rng: np.random.Generator | None = None,
     ):
         rng = rng or np.random.default_rng(0)
-        self.pos_encoding = FrequencyEncoding(input_dim=3, num_frequencies=pos_frequencies, include_input=True)
-        self.dir_encoding = FrequencyEncoding(input_dim=3, num_frequencies=dir_frequencies, include_input=True)
+        self.pos_encoding = FrequencyEncoding(
+            input_dim=3, num_frequencies=pos_frequencies, include_input=True
+        )
+        self.dir_encoding = FrequencyEncoding(
+            input_dim=3, num_frequencies=dir_frequencies, include_input=True
+        )
         input_dim = self.pos_encoding.output_dim + self.dir_encoding.output_dim
         layers = [input_dim] + [hidden_dim] * num_hidden_layers + [4]
         self.mlp = MLP(layers, hidden_activation="relu", output_activation="none", rng=rng)
         self._cache: dict | None = None
 
-    def forward(self, positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def forward(
+        self, positions: np.ndarray, directions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions, directions = _check_inputs(positions, directions)
         pos_enc = self.pos_encoding.forward(positions)
         dir_enc = self.dir_encoding.forward(directions)

@@ -23,7 +23,9 @@ def mse_loss(predicted: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarr
     return loss, grad
 
 
-def huber_loss(predicted: np.ndarray, target: np.ndarray, delta: float = 0.1) -> tuple[float, np.ndarray]:
+def huber_loss(
+    predicted: np.ndarray, target: np.ndarray, delta: float = 0.1
+) -> tuple[float, np.ndarray]:
     """Huber loss (quadratic near zero, linear in the tails) and gradient."""
     if delta <= 0:
         raise ValueError("delta must be positive")

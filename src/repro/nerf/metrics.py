@@ -25,7 +25,9 @@ def psnr(predicted: np.ndarray, target: np.ndarray, max_value: float = 1.0) -> f
     return float(10.0 * np.log10(max_value**2 / err))
 
 
-def ssim(predicted: np.ndarray, target: np.ndarray, window: int = 7, max_value: float = 1.0) -> float:
+def ssim(
+    predicted: np.ndarray, target: np.ndarray, window: int = 7, max_value: float = 1.0
+) -> float:
     """Structural similarity with a uniform window (simplified, single scale).
 
     Accepts ``(H, W)`` or ``(H, W, C)`` images; channels are averaged.

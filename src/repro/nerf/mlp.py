@@ -174,7 +174,9 @@ class MLP:
         pre_acts = self._cache["pre_acts"]
         num_layers = len(self.weights)
         if grad.shape != activations[-1].shape:
-            raise ValueError(f"grad_output shape {grad.shape} != output shape {activations[-1].shape}")
+            raise ValueError(
+                f"grad_output shape {grad.shape} != output shape {activations[-1].shape}"
+            )
         for i in reversed(range(num_layers)):
             act = self.output_act if i == num_layers - 1 else self.hidden_act
             dz = grad * act.grad(pre_acts[i], activations[i + 1])

@@ -45,7 +45,8 @@ class RayBundle:
         self.directions = np.asarray(self.directions, dtype=np.float64)
         if self.origins.shape != self.directions.shape or self.origins.shape[-1] != 3:
             raise ValueError(
-                f"origins {self.origins.shape} and directions {self.directions.shape} must both be (R, 3)"
+                f"origins {self.origins.shape} and directions {self.directions.shape} "
+                f"must both be (R, 3)"
             )
 
     def __len__(self) -> int:

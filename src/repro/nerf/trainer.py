@@ -152,7 +152,9 @@ class Trainer:
         background = None if cfg.background is None else np.asarray(cfg.background)
         out = render_rays(sigma, rgb, t_values, background=background)
         loss, grad_pred = mse_loss(out.rgb, target_rgb)
-        grad_sigma, grad_rgb = render_rays_backward(grad_pred, sigma, rgb, t_values, out, background=background)
+        grad_sigma, grad_rgb = render_rays_backward(
+            grad_pred, sigma, rgb, t_values, out, background=background
+        )
 
         self.field.zero_grad()
         if kept is None:
@@ -199,7 +201,9 @@ class Trainer:
         background = None if cfg.background is None else np.asarray(cfg.background)
         for start in range(0, len(rays), chunk_size):
             sub = rays.select(np.arange(start, min(start + chunk_size, len(rays))))
-            t_values = stratified_t_values(len(sub), cfg.samples_per_ray, cfg.near, cfg.far, jitter=False)
+            t_values = stratified_t_values(
+                len(sub), cfg.samples_per_ray, cfg.near, cfg.far, jitter=False
+            )
             points = sample_along_rays(sub, t_values)
             flat_points = self.dataset.normalize_positions(points.reshape(-1, 3))
             flat_dirs = np.repeat(sub.directions, cfg.samples_per_ray, axis=0)

@@ -152,7 +152,7 @@ def run_suites(
 
 
 # ---------------------------------------------------------------- comparison
-def _is_metric(value) -> bool:
+def _is_metric(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
@@ -165,7 +165,7 @@ def _higher_is_better(metric: str) -> bool:
     )
 
 
-def _sections(payload) -> list[tuple[str, bool | None, dict[str, float]]]:
+def _sections(payload: object) -> list[tuple[str, bool | None, dict[str, float]]]:
     """Normalise either trajectory format into ``(section, smoke, metrics)``.
 
     Trajectory lists yield one section per benchmark of the *last* entry
@@ -202,7 +202,7 @@ def _sections(payload) -> list[tuple[str, bool | None, dict[str, float]]]:
 BASELINE_HISTORY = 5
 
 
-def _baseline_sections(payload, smoke: bool | None) -> dict[str, dict[str, float]]:
+def _baseline_sections(payload: object, smoke: bool | None) -> dict[str, dict[str, float]]:
     """Smoke-matched baseline metrics per section.
 
     For trajectory lists the per-metric baseline is the *minimum* over the

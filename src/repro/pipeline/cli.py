@@ -18,6 +18,9 @@ Subcommands
     Benchmark-suite orchestration: ``bench run`` (``--smoke`` maps to
     ``PERF_SMOKE=1``), ``bench compare`` (the CI regression gate) and
     ``bench list`` — see :mod:`repro.pipeline.bench`.
+``lint``
+    Determinism-invariant static analysis (``repro-lint``): the RPR rule
+    suite over ``src/`` + ``benchmarks/`` — see :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from ..analysis.cli import add_lint_arguments, run_lint
 from ..experiments.runner import (
     ExperimentResult,
     atomic_write_text,
@@ -175,7 +179,9 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         metavar="KEY=V1,V2,...",
         help="one swept parameter with its values (repeatable)",
     )
-    p_sweep.add_argument("--workers", type=int, default=1, help="pool width for thread/process executors")
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="pool width for thread/process executors"
+    )
     p_sweep.add_argument(
         "--executor",
         choices=("auto", "serial", "thread", "process"),
@@ -256,6 +262,9 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
 
     b_list = bench_sub.add_parser("list", help="list benchmark suites")
     b_list.add_argument("--root", default=".", help="repository root (default: cwd)")
+
+    p_lint = sub.add_parser("lint", help="determinism-invariant static analysis")
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -517,6 +526,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "lint":
+            return run_lint(args)
     except (KeyError, ValueError, FileExistsError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2

@@ -5,7 +5,8 @@ The context memoizes the artifacts that are expensive to build and shared
 between experiments and sweep cells — generated point/lookup traces, per-level
 corner-index streams, locality statistics, cache-filtered request streams,
 rendered datasets, trained fields, GPU profiles and serviced DRAM batches —
-keyed by a canonical hash of the configuration objects that produced them.  Running the full experiment suite
+keyed by a canonical hash of the configuration objects that produced them.
+Running the full experiment suite
 (or a parameter sweep) through one context therefore computes each artifact
 once, where the legacy ``run_*`` entry points rebuild them from scratch on
 every call.
@@ -25,9 +26,10 @@ import hashlib
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable, TypeVar, cast
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.hashing import HashFunction, average_row_requests_per_cube
 from ..core.streaming import (
@@ -56,6 +58,15 @@ from ..workloads.traces import (
     occupancy_point_mask,
 )
 from .store import STORE_MISS, ArtifactStore
+
+if TYPE_CHECKING:
+    from ..core.codesign import AlgorithmConfig, InstantNeRFSystem
+    from ..experiments.tab04_psnr import QualityRunConfig
+    from ..gpu.profiler import KernelProfile, SceneProfile
+    from ..mem.hierarchy import CacheHierarchy, FilteredStream
+    from ..scenes.primitives import SDFScene
+
+T = TypeVar("T")
 
 __all__ = ["SimulationContext", "ContextStats", "config_key"]
 
@@ -103,7 +114,7 @@ class ContextStats:
     store_hits: int = 0
     #: Artifacts actually computed in this process (miss minus store hit).
     computes: int = 0
-    hit_keys: list = field(default_factory=list)
+    hit_keys: list[Any] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -130,14 +141,14 @@ class SimulationContext:
 
     def __init__(self, store: ArtifactStore | str | None = None):
         self._lock = threading.Lock()
-        self._cache: dict[Any, Future] = {}
+        self._cache: dict[Any, Future[Any]] = {}
         self.stats = ContextStats()
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store = store
 
     # ----------------------------------------------------------- machinery
-    def memoize(self, key: Any, compute) -> Any:
+    def memoize(self, key: Any, compute: Callable[[], T]) -> T:
         """Return the cached value for ``key``, computing it at most once.
 
         Thread-safe: concurrent callers of the same key block on the first
@@ -159,11 +170,11 @@ class SimulationContext:
                 self._cache[key] = fut
                 self.stats.misses += 1
         if not owner:
-            return fut.result()
+            return cast(T, fut.result())
         try:
             stored = self.store.get(key) if self.store is not None else STORE_MISS
             if stored is not STORE_MISS:
-                value = stored
+                value = cast(T, stored)
                 with self._lock:
                     self.stats.store_hits += 1
             else:
@@ -192,7 +203,7 @@ class SimulationContext:
         already present.  Used by process-pool sweep workers to adopt the
         parent's large read-only arrays without recomputing or copying.
         """
-        fut: Future = Future()
+        fut: Future[Any] = Future()
         fut.set_result(value)
         with self._lock:
             if key in self._cache:
@@ -200,7 +211,7 @@ class SimulationContext:
             self._cache[key] = fut
         return True
 
-    def array_artifacts(self, min_bytes: int = 0) -> list[tuple[Any, np.ndarray]]:
+    def array_artifacts(self, min_bytes: int = 0) -> list[tuple[Any, NDArray[Any]]]:
         """Completed ndarray-valued cache entries of at least ``min_bytes``.
 
         Snapshot in insertion order; the process sweep executor exports
@@ -217,7 +228,7 @@ class SimulationContext:
                     arrays.append((key, value))
         return arrays
 
-    def peek(self, key: Any):
+    def peek(self, key: Any) -> Any:
         """The cached value for ``key`` if already computed, else ``None``.
 
         A successful peek counts as a cache hit: it means a derived artifact
@@ -237,7 +248,7 @@ class SimulationContext:
             return len(self._cache)
 
     # ------------------------------------------------------------- scenes
-    def scene(self, name: str):
+    def scene(self, name: str) -> SDFScene:
         """The named procedural :class:`~repro.scenes.primitives.SDFScene`."""
         return self.memoize(("scene", name.lower()), lambda: build_scene(name))
 
@@ -248,16 +259,18 @@ class SimulationContext:
         return self.memoize(key, lambda: SyntheticNeRFDataset(self.scene(scene_name), cfg))
 
     # ------------------------------------------------------------- traces
-    def batch_points(self, trace: TraceConfig) -> np.ndarray:
+    def batch_points(self, trace: TraceConfig) -> NDArray[Any]:
         """The sampled training-batch points for a trace configuration.
 
         Points are always dense (occupancy prunes at stream emission), so
         every occupancy variant of a trace shares one dense-keyed artifact.
         """
         trace = trace.dense()
-        return self.memoize(("batch_points", config_key(trace)), lambda: generate_batch_points(trace))
+        return self.memoize(
+            ("batch_points", config_key(trace)), lambda: generate_batch_points(trace)
+        )
 
-    def stream_order(self, trace: TraceConfig, order: StreamingOrder) -> np.ndarray:
+    def stream_order(self, trace: TraceConfig, order: StreamingOrder) -> NDArray[Any]:
         """Point permutation for a streaming order (random order is seeded)."""
         trace = trace.dense()
         key = ("stream_order", config_key(trace), order.value)
@@ -272,7 +285,7 @@ class SimulationContext:
         )
 
     # ---------------------------------------------------------- occupancy
-    def occupancy_densities(self, trace: TraceConfig) -> np.ndarray:
+    def occupancy_densities(self, trace: TraceConfig) -> NDArray[Any]:
         """Scene density estimate over the occupancy grid's cells (storable)."""
         if trace.scene is None:
             raise ValueError("occupancy artifacts require TraceConfig.scene to be set")
@@ -300,7 +313,7 @@ class SimulationContext:
             key, lambda: occupancy_grid_for_trace(trace, densities=self.occupancy_densities(trace))
         )
 
-    def occupancy_mask(self, trace: TraceConfig) -> np.ndarray:
+    def occupancy_mask(self, trace: TraceConfig) -> NDArray[Any]:
         """Flat keep mask of the trace's samples under occupancy pruning."""
         if not trace.occupancy:
             raise ValueError("occupancy_mask requires TraceConfig.occupancy=True")
@@ -314,7 +327,7 @@ class SimulationContext:
 
     def level_indices(
         self, grid: HashGridConfig, trace: TraceConfig, hash_fn: HashFunction, level: int
-    ) -> np.ndarray:
+    ) -> NDArray[Any]:
         """Corner table indices of the trace at one level (ray-major).
 
         Dense traces return the full ``(N, 8)`` stream; occupancy traces
@@ -337,7 +350,9 @@ class SimulationContext:
             ),
         )
 
-    def _indices_key(self, grid, trace, hash_fn, level):
+    def _indices_key(
+        self, grid: HashGridConfig, trace: TraceConfig, hash_fn: HashFunction, level: int
+    ) -> tuple[Any, ...]:
         return ("level_indices", config_key(grid), config_key(trace.dense()), hash_fn.name, level)
 
     def level_addresses(
@@ -347,9 +362,16 @@ class SimulationContext:
         hash_fn: HashFunction,
         level: int,
         base_address: int = 0,
-    ) -> np.ndarray:
+    ) -> NDArray[Any]:
         """Flattened byte-address trace of one level's lookups."""
-        key = ("level_addresses", config_key(grid), config_key(trace), hash_fn.name, level, base_address)
+        key = (
+            "level_addresses",
+            config_key(grid),
+            config_key(trace),
+            hash_fn.name,
+            level,
+            base_address,
+        )
         return self.memoize(
             key,
             lambda: lookup_addresses(
@@ -496,7 +518,12 @@ class SimulationContext:
         return self.memoize(key, compute)
 
     # ------------------------------------------------------------ codesign
-    def system(self, algorithm=None, grid: HashGridConfig | None = None, trace: TraceConfig | None = None):
+    def system(
+        self,
+        algorithm: AlgorithmConfig | None = None,
+        grid: HashGridConfig | None = None,
+        trace: TraceConfig | None = None,
+    ) -> InstantNeRFSystem:
         """A co-designed :class:`~repro.core.codesign.InstantNeRFSystem`.
 
         The system measures its algorithm locality through this context, so
@@ -520,7 +547,7 @@ class SimulationContext:
         )
 
     # ------------------------------------------------------------ training
-    def trained_psnr(self, method: str, scene_name: str, quality_config) -> float:
+    def trained_psnr(self, method: str, scene_name: str, quality_config: QualityRunConfig) -> float:
         """Held-out test PSNR of one (method, scene) training cell.
 
         Keyed by the dataset and trainer configurations — not by the cell
@@ -549,20 +576,20 @@ class SimulationContext:
             known = ", ".join(ALL_GPUS)
             raise KeyError(f"unknown GPU {name!r}; available: {known}") from None
 
-    def scene_profile(self, gpu: GPUSpec):
+    def scene_profile(self, gpu: GPUSpec) -> SceneProfile:
         """Modelled per-scene training profile of iNGP on one GPU."""
         return self.memoize(
             ("scene_profile", gpu.name), lambda: GPUProfiler.for_gpu(gpu).profile_scene()
         )
 
-    def step_profile(self, gpu: GPUSpec, step: StepName):
+    def step_profile(self, gpu: GPUSpec, step: StepName) -> KernelProfile:
         """Modelled kernel profile of one training step on one GPU.
 
         Pulls the kernel out of an already-cached scene profile when one
         exists (the scene profile embeds every step's profile).
         """
 
-        def compute():
+        def compute() -> KernelProfile:
             scene = self.peek(("scene_profile", gpu.name))
             if scene is not None:
                 return scene.kernels[step.value]
@@ -573,13 +600,13 @@ class SimulationContext:
     # ------------------------------------------------------- memory hierarchy
     def filtered_stream(
         self,
-        hierarchy,
+        hierarchy: CacheHierarchy,
         grid: HashGridConfig,
         trace: TraceConfig,
         hash_fn: HashFunction,
         order: StreamingOrder,
         level: int,
-    ):
+    ) -> FilteredStream:
         """One level's lookup stream pushed through an on-chip hierarchy.
 
         ``hierarchy`` is a :class:`repro.mem.hierarchy.CacheHierarchy`; the
@@ -600,7 +627,7 @@ class SimulationContext:
             level,
         )
 
-        def compute():
+        def compute() -> FilteredStream:
             indices = self.level_indices(grid, trace.dense(), hash_fn, level)
             perm = self.stream_order(trace, order)
             ordered = indices[perm]
@@ -614,14 +641,14 @@ class SimulationContext:
     def hierarchy_serviced_batch(
         self,
         dram: str,
-        hierarchy,
+        hierarchy: CacheHierarchy,
         grid: HashGridConfig,
         trace: TraceConfig,
         hash_fn: HashFunction,
         order: StreamingOrder,
         level: int,
         stage: str = "misses",
-    ) -> dict:
+    ) -> dict[str, float]:
         """DRAM timing of one level's stream after the on-chip hierarchy.
 
         ``stage="misses"`` services only the lines the hierarchy could not
@@ -652,7 +679,7 @@ class SimulationContext:
                 config_key(hierarchy.scratchpad),
             ) + stream_key
 
-        def compute() -> dict:
+        def compute() -> dict[str, float]:
             from ..dram.system import DRAMSystem
 
             filtered = self.filtered_stream(hierarchy, grid, trace, hash_fn, order, level)
@@ -689,7 +716,7 @@ class SimulationContext:
         trace: TraceConfig,
         hash_fn: HashFunction,
         level: int,
-    ) -> dict:
+    ) -> dict[str, float]:
         """Service one level's address trace through the DRAM timing model.
 
         Returns a summary of the serviced batch (cycles, row hit/miss/conflict
@@ -699,7 +726,7 @@ class SimulationContext:
         """
         key = ("serviced_batch", dram, config_key(grid), config_key(trace), hash_fn.name, level)
 
-        def compute() -> dict:
+        def compute() -> dict[str, float]:
             from ..dram.system import DRAMSystem
 
             spec = self.dram_spec(dram)

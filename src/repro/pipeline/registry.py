@@ -40,9 +40,9 @@ class ParamSpec:
     """One declarative parameter of an experiment."""
 
     name: str
-    kind: type
+    kind: type[Any]
     default: Any
-    choices: tuple | None = None
+    choices: tuple[Any, ...] | None = None
     help: str = ""
 
     def parse(self, raw: Any) -> Any:
@@ -66,7 +66,8 @@ class ParamSpec:
                 ) from exc
         if self.choices is not None and value not in self.choices:
             raise ValueError(
-                f"parameter {self.name!r}: {value!r} is not one of {', '.join(map(str, self.choices))}"
+                f"parameter {self.name!r}: {value!r} is not one of "
+                f"{', '.join(map(str, self.choices))}"
             )
         return value
 
@@ -103,7 +104,7 @@ class ExperimentSpec:
             bound[name] = self.param(name).parse(raw)
         return bound
 
-    def run(self, context: SimulationContext | None = None, **overrides) -> ExperimentResult:
+    def run(self, context: SimulationContext | None = None, **overrides: Any) -> ExperimentResult:
         """Run with validated parameters against a (possibly fresh) context."""
         ctx = context if context is not None else SimulationContext()
         return self.runner(ctx, **self.bind(overrides))
@@ -174,7 +175,7 @@ def experiment_names() -> list[str]:
 
 
 def run_experiment(
-    name: str, context: SimulationContext | None = None, **overrides
+    name: str, context: SimulationContext | None = None, **overrides: Any
 ) -> ExperimentResult:
     """Run one registered experiment by name."""
     return get_experiment(name).run(context, **overrides)

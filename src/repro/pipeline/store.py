@@ -70,7 +70,7 @@ STORE_MISS = object()
 
 #: Dataclasses the store may persist as plain field dictionaries.  Only
 #: types whose fields are JSON primitives belong here.
-_STORABLE_DATACLASSES: dict[str, type] = {
+_STORABLE_DATACLASSES: dict[str, type[Any]] = {
     "LocalityReport": LocalityReport,
 }
 
@@ -119,7 +119,7 @@ class StoreStats:
     writes: int = 0
     skipped: int = 0  # values with no storable encoding (memory-only)
     errors: int = 0  # unreadable/corrupt payloads (treated as misses)
-    hit_kinds: list = field(default_factory=list)
+    hit_kinds: list[str] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -150,7 +150,7 @@ class ArtifactStore:
         return sum(1 for p in self.path.glob("*/*") if p.suffix in (".json", ".npz"))
 
     # ----------------------------------------------------------------- encode
-    def _encode(self, value: Any):
+    def _encode(self, value: Any) -> tuple[str, Any] | None:
         """``(kind, payload)`` for a storable value, else ``None``."""
         from ..experiments.runner import ExperimentResult  # lazy: avoids an import cycle
 
@@ -184,7 +184,7 @@ class ArtifactStore:
             return ("json", value)
         return None
 
-    def _decode(self, document: dict) -> Any:
+    def _decode(self, document: dict[str, Any]) -> Any:
         from ..experiments.runner import ExperimentResult  # lazy: avoids an import cycle
 
         kind, payload = document["type"], document["value"]

@@ -42,9 +42,10 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..experiments.runner import ExperimentResult, atomic_write_text
 from .context import SimulationContext, config_key
@@ -98,7 +99,7 @@ def cell_seed(spec_name: str, params: dict[str, Any], base_seed: int = 0) -> int
 
 def cell_store_key(
     spec: ExperimentSpec | str, params: dict[str, Any], seed: int | None
-) -> tuple:
+) -> tuple[Any, ...]:
     """Store key of one completed sweep cell (resume granularity).
 
     Keyed by the *fully bound* parameter assignment — defaults filled in and
@@ -126,7 +127,7 @@ def _format_cell_error(exc: BaseException) -> str:
     return "".join(traceback.format_exception(type(exc), exc, tb, limit=8))
 
 
-def _try_cell_store_key(spec: ExperimentSpec, cell: SweepCell) -> tuple | None:
+def _try_cell_store_key(spec: ExperimentSpec, cell: SweepCell) -> tuple[Any, ...] | None:
     """The cell's store key, or ``None`` when its raw values do not bind.
 
     An unparseable cell value will fail at evaluation time with a proper
@@ -155,7 +156,7 @@ class SweepCell:
     error: str | None = None
     resumed: bool = False
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "index": self.index,
             "params": self.params,
@@ -190,7 +191,7 @@ class SweepResult:
     def resumed(self) -> list[SweepCell]:
         return [cell for cell in self.cells if cell.resumed]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "spec": self.spec_name,
             "grid": self.grid,
@@ -240,7 +241,7 @@ class SweepExecutor:
         spec: ExperimentSpec,
         cells: list[SweepCell],
         context: SimulationContext,
-        evaluate,
+        evaluate: Callable[[SweepCell], None],
         store: ArtifactStore | None = None,
     ) -> None:
         raise NotImplementedError
@@ -251,7 +252,14 @@ class SerialSweepExecutor(SweepExecutor):
 
     name = "serial"
 
-    def run(self, spec, cells, context, evaluate, store=None) -> None:
+    def run(
+        self,
+        spec: ExperimentSpec,
+        cells: list[SweepCell],
+        context: SimulationContext,
+        evaluate: Callable[[SweepCell], None],
+        store: ArtifactStore | None = None,
+    ) -> None:
         for cell in cells:
             evaluate(cell)
 
@@ -266,7 +274,14 @@ class ThreadSweepExecutor(SweepExecutor):
             raise ValueError("workers must be positive")
         self.workers = workers
 
-    def run(self, spec, cells, context, evaluate, store=None) -> None:
+    def run(
+        self,
+        spec: ExperimentSpec,
+        cells: list[SweepCell],
+        context: SimulationContext,
+        evaluate: Callable[[SweepCell], None],
+        store: ArtifactStore | None = None,
+    ) -> None:
         if len(cells) <= 1 or self.workers == 1:
             for cell in cells:
                 evaluate(cell)
@@ -279,7 +294,7 @@ class ThreadSweepExecutor(SweepExecutor):
 _WORKER_STATE: dict[str, Any] = {}
 
 
-def _attach_shared_array(entry: dict) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+def _attach_shared_array(entry: dict[str, Any]) -> tuple[shared_memory.SharedMemory, NDArray[Any]]:
     """Map one exported segment as a read-only ndarray (no tracker churn).
 
     The parent owns the segment's lifetime (it unlinks after the pool
@@ -301,7 +316,9 @@ def _attach_shared_array(entry: dict) -> tuple[shared_memory.SharedMemory, np.nd
     return shm, array
 
 
-def _process_worker_init(spec_name: str, store_root: str | None, manifest: list[dict]) -> None:
+def _process_worker_init(
+    spec_name: str, store_root: str | None, manifest: list[dict[str, Any]]
+) -> None:
     """Initializer run once per worker process.
 
     Builds the worker's :class:`SimulationContext` (store-backed when the
@@ -320,7 +337,9 @@ def _process_worker_init(spec_name: str, store_root: str | None, manifest: list[
     _WORKER_STATE["segments"] = segments
 
 
-def _process_worker_run(payload: tuple[int, dict]) -> tuple[int, dict | None, str | None]:
+def _process_worker_run(
+    payload: tuple[int, dict[str, Any]],
+) -> tuple[int, dict[str, Any] | None, str | None]:
     """Evaluate one cell in a worker; results travel back as plain dicts."""
     index, params = payload
     try:
@@ -332,10 +351,10 @@ def _process_worker_run(payload: tuple[int, dict]) -> tuple[int, dict | None, st
 
 def _export_shared_arrays(
     context: SimulationContext, min_bytes: int, max_total_bytes: int
-) -> tuple[list[shared_memory.SharedMemory], list[dict]]:
+) -> tuple[list[shared_memory.SharedMemory], list[dict[str, Any]]]:
     """Copy the context's large arrays into shared-memory segments."""
     segments: list[shared_memory.SharedMemory] = []
-    manifest: list[dict] = []
+    manifest: list[dict[str, Any]] = []
     total = 0
     for key, array in context.array_artifacts(min_bytes):
         if total + array.nbytes > max_total_bytes:
@@ -391,7 +410,14 @@ class ProcessSweepExecutor(SweepExecutor):
             start_method = "fork" if "fork" in methods else "spawn"
         self.start_method = start_method
 
-    def run(self, spec, cells, context, evaluate, store=None) -> None:
+    def run(
+        self,
+        spec: ExperimentSpec,
+        cells: list[SweepCell],
+        context: SimulationContext,
+        evaluate: Callable[[SweepCell], None],
+        store: ArtifactStore | None = None,
+    ) -> None:
         pending = list(cells)
         if not pending:
             return

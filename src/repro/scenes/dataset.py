@@ -26,7 +26,7 @@ from .primitives import SDFScene
 __all__ = ["DatasetConfig", "SyntheticNeRFDataset", "load_synthetic_dataset"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class DatasetConfig:
     """Rendering configuration for the procedural dataset."""
 
@@ -51,7 +51,9 @@ class SyntheticNeRFDataset:
         self.config = config or DatasetConfig()
         cfg = self.config
         self.intrinsics = CameraIntrinsics.from_fov(cfg.image_size, cfg.image_size, cfg.fov_degrees)
-        self.train_poses = poses_on_sphere(cfg.num_train_views, radius=cfg.camera_radius, elevation_degrees=25.0)
+        self.train_poses = poses_on_sphere(
+            cfg.num_train_views, radius=cfg.camera_radius, elevation_degrees=25.0
+        )
         # Test poses share the training elevation but sit between the training
         # azimuths (interpolation rather than extrapolation, as in the
         # Synthetic-NeRF splits where test cameras interleave the training orbit).
@@ -70,7 +72,9 @@ class SyntheticNeRFDataset:
     def _render_view(self, pose: np.ndarray) -> tuple[RayBundle, np.ndarray]:
         cfg = self.config
         rays = generate_rays(pose, self.intrinsics.matrix, cfg.image_size, cfg.image_size)
-        t_values = stratified_t_values(len(rays), cfg.gt_samples_per_ray, cfg.near, cfg.far, jitter=False)
+        t_values = stratified_t_values(
+            len(rays), cfg.gt_samples_per_ray, cfg.near, cfg.far, jitter=False
+        )
         points = sample_along_rays(rays, t_values)
         dirs = np.repeat(rays.directions, cfg.gt_samples_per_ray, axis=0)
         sigma, rgb = self.scene.radiance(points.reshape(-1, 3), dirs)
@@ -148,6 +152,8 @@ class SyntheticNeRFDataset:
         return np.asarray(unit_points, dtype=np.float64) * (2.0 * bound) - bound
 
 
-def load_synthetic_dataset(scene_name: str, config: DatasetConfig | None = None) -> SyntheticNeRFDataset:
+def load_synthetic_dataset(
+    scene_name: str, config: DatasetConfig | None = None
+) -> SyntheticNeRFDataset:
     """Build the procedural stand-in for one Synthetic-NeRF scene by name."""
     return SyntheticNeRFDataset(build_scene(scene_name), config)

@@ -135,7 +135,9 @@ def _ship() -> SDFScene:
     sail = (0.92, 0.9, 0.85)
     water = (0.15, 0.3, 0.55)
     prims = [
-        ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, -0.5, 0.0], 0.85, 0.06), water, density_scale=25.0),
+        ColoredPrimitive(
+            lambda p: cylinder_sdf(p, [0.0, -0.5, 0.0], 0.85, 0.06), water, density_scale=25.0
+        ),
         ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.3, 0.0], [0.55, 0.12, 0.2]), hull),
         ColoredPrimitive(lambda p: box_sdf(p, [0.0, -0.15, 0.0], [0.6, 0.04, 0.24]), deck),
         ColoredPrimitive(lambda p: cylinder_sdf(p, [0.0, 0.15, 0.0], 0.03, 0.35), hull),

@@ -43,7 +43,9 @@ def box_sdf(points: np.ndarray, center: np.ndarray, half_extents: np.ndarray) ->
     return outside + inside
 
 
-def torus_sdf(points: np.ndarray, center: np.ndarray, major_radius: float, minor_radius: float) -> np.ndarray:
+def torus_sdf(
+    points: np.ndarray, center: np.ndarray, major_radius: float, minor_radius: float
+) -> np.ndarray:
     """Signed distance to a torus lying in the xz-plane."""
     p = points - np.asarray(center)
     q_x = _norm(p[..., [0, 2]]) - major_radius
@@ -51,7 +53,9 @@ def torus_sdf(points: np.ndarray, center: np.ndarray, major_radius: float, minor
     return _norm(q) - minor_radius
 
 
-def cylinder_sdf(points: np.ndarray, center: np.ndarray, radius: float, half_height: float) -> np.ndarray:
+def cylinder_sdf(
+    points: np.ndarray, center: np.ndarray, radius: float, half_height: float
+) -> np.ndarray:
     """Signed distance to a vertical (y-axis) capped cylinder."""
     p = points - np.asarray(center)
     d_radial = _norm(p[..., [0, 2]]) - radius
@@ -140,7 +144,9 @@ class SDFScene:
             base = np.clip(base + tint, 0.0, 1.0)
         return base
 
-    def radiance(self, points: np.ndarray, directions: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    def radiance(
+        self, points: np.ndarray, directions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Convenience: ``(density, color)`` with an optional view-dependent sheen."""
         sigma = self.density(points)
         rgb = self.color(points)

@@ -65,7 +65,10 @@ class StepWorkload:
         they exceed on-chip storage, counting a write + read.
         """
         return float(
-            self.parameter_bytes + self.input_bytes + self.output_bytes + 2 * self.intermediate_bytes
+            self.parameter_bytes
+            + self.input_bytes
+            + self.output_bytes
+            + 2 * self.intermediate_bytes
         )
 
     @property
@@ -133,9 +136,15 @@ class INGPWorkloadModel:
     def mlp_parameter_bytes(self) -> int:
         """Both MLPs' weights (~0.014 MB at paper scale)."""
         enc_dim = self.grid.output_dim
-        density_params = enc_dim * self.density_hidden + self.density_hidden * (1 + self.geo_features)
+        density_params = enc_dim * self.density_hidden + self.density_hidden * (
+            1 + self.geo_features
+        )
         color_in = self.geo_features + self.dir_encoding_dim
-        color_params = color_in * self.color_hidden + self.color_hidden * self.color_hidden + self.color_hidden * 3
+        color_params = (
+            color_in * self.color_hidden
+            + self.color_hidden * self.color_hidden
+            + self.color_hidden * 3
+        )
         return (density_params + color_params) * self.dtype_bytes
 
     @property
@@ -173,7 +182,11 @@ class INGPWorkloadModel:
 
     def _color_mlp_flops(self) -> float:
         color_in = self.geo_features + self.dir_encoding_dim
-        macs = color_in * self.color_hidden + self.color_hidden * self.color_hidden + self.color_hidden * 3
+        macs = (
+            color_in * self.color_hidden
+            + self.color_hidden * self.color_hidden
+            + self.color_hidden * 3
+        )
         return float(self.batch.points_per_iteration * 2 * macs)
 
     # ------------------------------------------------------------ steps
@@ -257,7 +270,10 @@ class INGPWorkloadModel:
                 input_bytes=render_bytes,
                 output_bytes=render_bytes // 4,
                 intermediate_bytes=render_bytes // 2,
-                fp_ops=float(batch.points_per_iteration * 60 + self.hash_table_bytes // self.dtype_bytes * 8),
+                fp_ops=float(
+                    batch.points_per_iteration * 60
+                    + self.hash_table_bytes // self.dtype_bytes * 8
+                ),
                 int_ops=float(batch.points_per_iteration * 10),
             )
         raise ValueError(f"unknown step {name}")

@@ -138,7 +138,9 @@ def generate_scene_batch_points(config: TraceConfig) -> np.ndarray:
 
     # Orbiting training cameras, one random (view, pixel) per ray.
     num_views = int(max(4, min(16, config.num_rays // 16)))
-    poses = np.stack(poses_on_sphere(num_views, radius=config.camera_radius, elevation_degrees=25.0))
+    poses = np.stack(
+        poses_on_sphere(num_views, radius=config.camera_radius, elevation_degrees=25.0)
+    )
     image_size = 64  # only sets the pixel lattice the rays pass through
     intrinsics = CameraIntrinsics.from_fov(image_size, image_size, config.fov_degrees)
     view = rng.integers(0, num_views, size=config.num_rays)

@@ -24,7 +24,13 @@ from repro.gpu import TX2, XNX
 
 # ----------------------------------------------------------------------- PEs
 def test_pe_group_throughput_and_energy():
-    group = PEGroup(name="test", num_pes=128, frequency_mhz=100.0, ops_per_pe_per_cycle=1.0, energy_pj_per_op=2.0)
+    group = PEGroup(
+        name="test",
+        num_pes=128,
+        frequency_mhz=100.0,
+        ops_per_pe_per_cycle=1.0,
+        energy_pj_per_op=2.0,
+    )
     group.validate()
     assert group.peak_ops_per_second == pytest.approx(128 * 100e6)
     assert group.cycles_for(1280) == pytest.approx(10.0)
@@ -69,7 +75,9 @@ def test_instruction_stream_building_and_counting():
 
 @pytest.mark.parametrize("step", ["HT", "HT_b", "MLP", "MLP_b"])
 def test_build_step_program_contains_expected_opcodes(step):
-    program = build_step_program(step, num_points=1024, num_levels=4, mac_ops=10_000, rows_touched=8)
+    program = build_step_program(
+        step, num_points=1024, num_levels=4, mac_ops=10_000, rows_touched=8
+    )
     assert len(program) > 0
     assert program.count(Opcode.SYNC) == 1
     if step == "HT":

@@ -61,8 +61,12 @@ def test_codesign_outperforms_ingp_on_nmp(instant_system, ingp_system):
 
 
 def test_scene_difficulty_scales_results(instant_system):
-    assert instant_system.scene_training_seconds("ship") > instant_system.scene_training_seconds("mic")
-    assert instant_system.scene_training_energy_j("ship") > instant_system.scene_training_energy_j("mic")
+    assert instant_system.scene_training_seconds("ship") > instant_system.scene_training_seconds(
+        "mic"
+    )
+    assert instant_system.scene_training_energy_j(
+        "ship"
+    ) > instant_system.scene_training_energy_j("mic")
 
 
 def test_fig11_comparisons_within_expected_regime(instant_system):

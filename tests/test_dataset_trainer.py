@@ -48,7 +48,9 @@ def test_dataset_position_normalisation_roundtrip(tiny_dataset, rng):
 
 
 def test_load_synthetic_dataset_by_name():
-    config = DatasetConfig(image_size=12, num_train_views=2, num_test_views=1, gt_samples_per_ray=24)
+    config = DatasetConfig(
+        image_size=12, num_train_views=2, num_test_views=1, gt_samples_per_ray=24
+    )
     dataset = load_synthetic_dataset("mic", config)
     assert isinstance(dataset, SyntheticNeRFDataset)
     assert dataset.scene.name == "mic"
@@ -62,7 +64,9 @@ def trained_trainer():
     )
     grid = HashGridConfig(num_levels=6, table_size=2**12, max_resolution=128)
     field = InstantNGPField(grid, hidden_dim=24, geo_features=7)
-    config = TrainerConfig(num_iterations=60, rays_per_batch=128, samples_per_ray=32, learning_rate=1e-2, seed=0)
+    config = TrainerConfig(
+        num_iterations=60, rays_per_batch=128, samples_per_ray=32, learning_rate=1e-2, seed=0
+    )
     trainer = Trainer(field, dataset, config)
     trainer.train()
     return trainer
@@ -85,7 +89,9 @@ def test_rendered_image_quality_improves_over_untrained(trained_trainer):
     trained_psnr = trained_trainer.evaluate([0])
 
     fresh_field = InstantNGPField(
-        HashGridConfig(num_levels=6, table_size=2**12, max_resolution=128), hidden_dim=24, geo_features=7
+        HashGridConfig(num_levels=6, table_size=2**12, max_resolution=128),
+        hidden_dim=24,
+        geo_features=7,
     )
     fresh_trainer = Trainer(fresh_field, trained_trainer.dataset, trained_trainer.config)
     untrained_psnr = fresh_trainer.evaluate([0])
@@ -94,8 +100,14 @@ def test_rendered_image_quality_improves_over_untrained(trained_trainer):
 
 
 def test_train_step_returns_finite_loss(tiny_dataset):
-    field = InstantNGPField(HashGridConfig(num_levels=4, table_size=2**10, max_resolution=64), hidden_dim=16, geo_features=3)
-    trainer = Trainer(field, tiny_dataset, TrainerConfig(num_iterations=2, rays_per_batch=32, samples_per_ray=16))
+    field = InstantNGPField(
+        HashGridConfig(num_levels=4, table_size=2**10, max_resolution=64),
+        hidden_dim=16,
+        geo_features=3,
+    )
+    trainer = Trainer(
+        field, tiny_dataset, TrainerConfig(num_iterations=2, rays_per_batch=32, samples_per_ray=16)
+    )
     loss = trainer.train_step()
     assert np.isfinite(loss)
     assert loss > 0

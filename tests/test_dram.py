@@ -93,7 +93,12 @@ def test_address_mapper_roundtrip_and_fields():
 def test_address_mapper_roundtrip_property(channel, bank, row, column):
     mapper = AddressMapper()
     decoded = mapper.decode(mapper.encode(channel=channel, bank=bank, row=row, column=column))
-    assert (decoded.channel, decoded.bank, decoded.row, decoded.column) == (channel, bank, row, column)
+    assert (decoded.channel, decoded.bank, decoded.row, decoded.column) == (
+        channel,
+        bank,
+        row,
+        column,
+    )
 
 
 def test_sequential_addresses_fill_a_row_before_switching_banks():
@@ -226,7 +231,11 @@ def test_dram_system_sequential_faster_than_random():
     mapper = AddressMapper()
     rng = np.random.default_rng(0)
     sequential = np.array(
-        [mapper.encode(channel=0, bank=0, row=row, column=col) for row in range(32) for col in range(0, 1024, 64)]
+        [
+            mapper.encode(channel=0, bank=0, row=row, column=col)
+            for row in range(32)
+            for col in range(0, 1024, 64)
+        ]
     )
     shuffled = rng.permutation(sequential)
     seq_result = system.service_addresses(sequential)

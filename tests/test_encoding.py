@@ -8,7 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.hashing import MortonLocalityHash
-from repro.nerf.encoding import FrequencyEncoding, HashGridConfig, HashGridEncoding, level_resolutions
+from repro.nerf.encoding import (
+    FrequencyEncoding,
+    HashGridConfig,
+    HashGridEncoding,
+    level_resolutions,
+)
 
 
 def test_level_resolutions_geometric_progression():

@@ -31,7 +31,9 @@ from repro.workloads.traces import TraceConfig
 
 
 def test_experiment_result_helpers():
-    result = ExperimentResult("Fig. X", "demo", rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 0.001}], notes="n")
+    result = ExperimentResult(
+        "Fig. X", "demo", rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 0.001}], notes="n"
+    )
     assert result.column("a") == [1, 3]
     text = result.to_text()
     assert "Fig. X" in text and "note:" in text

@@ -101,7 +101,9 @@ def test_requests_per_cube_rejects_bad_row_size(sampled_cubes):
     with pytest.raises(ValueError):
         average_row_requests_per_cube(MortonLocalityHash(), sampled_cubes, 2**19, row_bytes=0)
     with pytest.raises(ValueError):
-        average_row_requests_per_cube_reference(MortonLocalityHash(), sampled_cubes, 2**19, row_bytes=0)
+        average_row_requests_per_cube_reference(
+            MortonLocalityHash(), sampled_cubes, 2**19, row_bytes=0
+        )
 
 
 def test_requests_per_cube_vectorized_matches_unique_oracle(sampled_cubes):
@@ -109,7 +111,9 @@ def test_requests_per_cube_vectorized_matches_unique_oracle(sampled_cubes):
     for fn in (MortonLocalityHash(), OriginalSpatialHash(), DenseGridIndexer(64)):
         for row_bytes in (64, 1024):
             fast = average_row_requests_per_cube(fn, sampled_cubes, 2**19, row_bytes=row_bytes)
-            slow = average_row_requests_per_cube_reference(fn, sampled_cubes, 2**19, row_bytes=row_bytes)
+            slow = average_row_requests_per_cube_reference(
+                fn, sampled_cubes, 2**19, row_bytes=row_bytes
+            )
             assert fast == slow
     empty = np.zeros((0, 3), dtype=np.int64)
     assert average_row_requests_per_cube(MortonLocalityHash(), empty, 2**19) == 0.0

@@ -55,7 +55,9 @@ def test_bank_assignment_covers_all_levels():
 
 def test_bank_assignment_without_grouping_round_robins():
     grid = HashGridConfig(num_levels=16)
-    mapper = HashTableMapper(grid, HashTableMappingConfig(use_inter_level_grouping=False, num_banks=4))
+    mapper = HashTableMapper(
+        grid, HashTableMappingConfig(use_inter_level_grouping=False, num_banks=4)
+    )
     assert [mapper.bank_of_level(lvl) for lvl in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
     assert mapper.level_groups() == [[lvl] for lvl in range(16)]
 
@@ -64,10 +66,14 @@ def test_locate_interleaved_vs_row_major():
     grid = HashGridConfig(num_levels=16)
     indices = np.arange(0, 256 * 8, 256)  # one index per consecutive row
     interleaved = HashTableMapper(
-        grid, HashTableMappingConfig(intra_level_policy=IntraLevelPolicy.SUBARRAY_INTERLEAVED, subarrays_per_bank=8)
+        grid,
+        HashTableMappingConfig(
+            intra_level_policy=IntraLevelPolicy.SUBARRAY_INTERLEAVED, subarrays_per_bank=8
+        ),
     )
     row_major = HashTableMapper(
-        grid, HashTableMappingConfig(intra_level_policy=IntraLevelPolicy.ROW_MAJOR, subarrays_per_bank=8)
+        grid,
+        HashTableMappingConfig(intra_level_policy=IntraLevelPolicy.ROW_MAJOR, subarrays_per_bank=8),
     )
     _, sub_inter, _ = interleaved.locate(15, indices)
     _, sub_major, _ = row_major.locate(15, indices)
@@ -88,7 +94,9 @@ def test_locate_bank_and_bounds():
 @pytest.fixture(scope="module")
 def level_indices():
     grid = HashGridConfig(num_levels=16)
-    generator = HashTraceGenerator(grid, TraceConfig(num_rays=32, points_per_ray=32, seed=2), hash_fn=MortonLocalityHash())
+    generator = HashTraceGenerator(
+        grid, TraceConfig(num_rays=32, points_per_ray=32, seed=2), hash_fn=MortonLocalityHash()
+    )
     return grid, generator.indices_for_level(15).ravel()
 
 

@@ -233,7 +233,9 @@ def test_l0_window_reproduces_row_request_accounting():
     count equals the row-request count of :mod:`repro.core.streaming` — the
     hierarchy generalizes the locality statistic the paper reports."""
     grid = HashGridConfig(num_levels=16)
-    points = generate_batch_points(TraceConfig(num_rays=48, points_per_ray=32, seed=0)).reshape(-1, 3)
+    points = generate_batch_points(TraceConfig(num_rays=48, points_per_ray=32, seed=0)).reshape(
+        -1, 3
+    )
     hierarchy = CacheHierarchy(
         CacheConfig(capacity_bytes=4096, line_bytes=1024, ways=4),
         scratchpad=Scratchpad(capacity_bytes=8 * 1024),
@@ -279,7 +281,9 @@ def test_larger_caches_never_fetch_more(line_list):
     increases DRAM line fetches on the same stream (LRU inclusion)."""
     lines = np.array(line_list, dtype=np.int64)
     fetches = [
-        simulate_cache(lines, CacheConfig.fully_associative(capacity, line_bytes=32))[1].dram_line_fetches
+        simulate_cache(lines, CacheConfig.fully_associative(capacity, line_bytes=32))[
+            1
+        ].dram_line_fetches
         for capacity in (32 * 4, 32 * 16, 32 * 64, 32 * 512)
     ]
     assert fetches == sorted(fetches, reverse=True)
@@ -288,7 +292,9 @@ def test_larger_caches_never_fetch_more(line_list):
 # ----------------------------------------------------- hierarchy end-to-end
 def test_hierarchy_filters_traffic_and_reports_energy():
     grid = HashGridConfig(num_levels=8)
-    points = generate_batch_points(TraceConfig(num_rays=64, points_per_ray=32, seed=1)).reshape(-1, 3)
+    points = generate_batch_points(TraceConfig(num_rays=64, points_per_ray=32, seed=1)).reshape(
+        -1, 3
+    )
     indices = level_lookup_indices(points, 7, grid, MortonLocalityHash())
     hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=64 * 1024, ways=4, mshr_latency=4))
     filtered = hierarchy.filter_stream(indices * 4)
@@ -321,16 +327,22 @@ def test_context_memoizes_filtered_streams():
     grid = HashGridConfig(num_levels=4)
     trace = TraceConfig(num_rays=16, points_per_ray=16, seed=0)
     hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=16 * 1024))
-    first = ctx.filtered_stream(hierarchy, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    first = ctx.filtered_stream(
+        hierarchy, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3
+    )
     hits_before = ctx.stats.hits
     # An equal-but-distinct hierarchy object must hit the same cache entry.
     same = CacheHierarchy(CacheConfig(capacity_bytes=16 * 1024))
-    second = ctx.filtered_stream(same, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    second = ctx.filtered_stream(
+        same, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3
+    )
     assert second is first
     assert ctx.stats.hits == hits_before + 1
     # A different geometry computes a fresh stream.
     other = CacheHierarchy(CacheConfig(capacity_bytes=32 * 1024))
-    third = ctx.filtered_stream(other, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3)
+    third = ctx.filtered_stream(
+        other, grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 3
+    )
     assert third is not first
 
 
@@ -351,7 +363,9 @@ def test_context_hierarchy_serviced_batch_reduces_requests():
 # ------------------------------------------------------- accelerator model
 def _measured_stats():
     grid = HashGridConfig(num_levels=8)
-    points = generate_batch_points(TraceConfig(num_rays=32, points_per_ray=32, seed=0)).reshape(-1, 3)
+    points = generate_batch_points(TraceConfig(num_rays=32, points_per_ray=32, seed=0)).reshape(
+        -1, 3
+    )
     indices = level_lookup_indices(points, 7, grid, MortonLocalityHash())
     hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=512 * 1024, ways=8, mshr_latency=4))
     return hierarchy.filter_stream(indices * 4).stats

@@ -89,7 +89,9 @@ def test_mlp_input_gradient_matches_finite_differences(rng):
     x_plus, x_minus = x.copy(), x.copy()
     x_plus[idx] += eps
     x_minus[idx] -= eps
-    fd = ((mlp.forward(x_plus) * upstream).sum() - (mlp.forward(x_minus) * upstream).sum()) / (2 * eps)
+    fd = ((mlp.forward(x_plus) * upstream).sum() - (mlp.forward(x_minus) * upstream).sum()) / (
+        2 * eps
+    )
     assert fd == pytest.approx(float(grad_input[idx]), rel=0.05, abs=1e-4)
 
 

@@ -58,7 +58,9 @@ def test_heterogeneous_plan_moves_least_data():
 def test_duplication_scales_with_bank_count():
     small = analyze_plan(heterogeneous_plan(), num_banks=2)
     large = analyze_plan(heterogeneous_plan(), num_banks=16)
-    assert large.category_total(MovementCategory.DUPLICATION) > small.category_total(MovementCategory.DUPLICATION)
+    assert large.category_total(MovementCategory.DUPLICATION) > small.category_total(
+        MovementCategory.DUPLICATION
+    )
     with pytest.raises(ValueError):
         analyze_plan(heterogeneous_plan(), num_banks=0)
 
@@ -66,5 +68,7 @@ def test_duplication_scales_with_bank_count():
 def test_traffic_helpers():
     traffic = analyze_plan(heterogeneous_plan(), num_banks=4)
     total = traffic.total_bytes()
-    assert total == pytest.approx(sum(traffic.step_total(s) for s in ("HT", "MLP", "MLP_b", "HT_b")))
+    assert total == pytest.approx(
+        sum(traffic.step_total(s) for s in ("HT", "MLP", "MLP_b", "HT_b"))
+    )
     assert total == pytest.approx(sum(traffic.category_total(c) for c in MovementCategory))

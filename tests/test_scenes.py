@@ -50,7 +50,9 @@ def test_smooth_union_lower_bound():
 
 
 def test_colored_primitive_density_profile():
-    prim = ColoredPrimitive(lambda p: sphere_sdf(p, [0, 0, 0], 0.5), (1.0, 0.0, 0.0), density_scale=10.0)
+    prim = ColoredPrimitive(
+        lambda p: sphere_sdf(p, [0, 0, 0], 0.5), (1.0, 0.0, 0.0), density_scale=10.0
+    )
     inside = prim.density(np.array([[0.0, 0.0, 0.0]]))[0]
     outside = prim.density(np.array([[2.0, 0.0, 0.0]]))[0]
     assert inside > 9.0

@@ -172,7 +172,10 @@ def test_context_reads_through_store_without_recomputing(tmp_path):
 
     warm = SimulationContext(store=ArtifactStore(tmp_path))
     assert np.array_equal(warm.batch_points(trace), points)
-    assert warm.row_requests(grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 0) == requests
+    assert (
+        warm.row_requests(grid, trace, MortonLocalityHash(), StreamingOrder.RAY_FIRST, 0)
+        == requests
+    )
     assert warm.stats.computes == 0, "a warm store must answer every artifact request"
     assert warm.stats.store_hits == warm.stats.misses
 

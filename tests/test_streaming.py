@@ -40,7 +40,10 @@ def test_ray_first_order_shares_cubes_more_than_random(ray_points):
     num = ray_points.shape[0] * ray_points.shape[1]
     ray_order = point_order(ray_points.shape[0], ray_points.shape[1], StreamingOrder.RAY_FIRST)
     random_order = point_order(
-        ray_points.shape[0], ray_points.shape[1], StreamingOrder.RANDOM, rng=np.random.default_rng(1)
+        ray_points.shape[0],
+        ray_points.shape[1],
+        StreamingOrder.RANDOM,
+        rng=np.random.default_rng(1),
     )
     for resolution in (16, 64):
         ray_sharing = points_sharing_same_cube(flat, resolution, ray_order)

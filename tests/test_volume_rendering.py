@@ -73,7 +73,9 @@ def test_backward_matches_finite_differences(rng, use_background):
 
     out = render_rays(sigma, colors, t_values, background=background)
     _, grad_rgb = mse_loss(out.rgb, target)
-    grad_sigma, grad_colors = render_rays_backward(grad_rgb, sigma, colors, t_values, out, background=background)
+    grad_sigma, grad_colors = render_rays_backward(
+        grad_rgb, sigma, colors, t_values, out, background=background
+    )
 
     eps = 1e-6
     for i in range(sigma.shape[0]):

@@ -76,8 +76,12 @@ def test_step_descriptors_are_consistent():
 
 
 def test_workload_scales_with_batch_size():
-    small = INGPWorkloadModel(batch=BatchGeometry(points_per_iteration=64 * 1024, points_per_ray=32))
-    large = INGPWorkloadModel(batch=BatchGeometry(points_per_iteration=256 * 1024, points_per_ray=32))
+    small = INGPWorkloadModel(
+        batch=BatchGeometry(points_per_iteration=64 * 1024, points_per_ray=32)
+    )
+    large = INGPWorkloadModel(
+        batch=BatchGeometry(points_per_iteration=256 * 1024, points_per_ray=32)
+    )
     assert large.encoding_output_bytes == 4 * small.encoding_output_bytes
     assert large.step(StepName.HT).fp_ops == 4 * small.step(StepName.HT).fp_ops
     # Hash-table size is independent of batch size.
@@ -117,7 +121,9 @@ def test_lookup_addresses_respect_level_offsets():
 
 def test_hash_trace_generator_full_trace():
     grid = HashGridConfig(num_levels=4, table_size=2**12, max_resolution=64)
-    generator = HashTraceGenerator(grid, TraceConfig(num_rays=8, points_per_ray=8), hash_fn=MortonLocalityHash())
+    generator = HashTraceGenerator(
+        grid, TraceConfig(num_rays=8, points_per_ray=8), hash_fn=MortonLocalityHash()
+    )
     trace = generator.full_trace()
     assert trace.shape == (4 * 64 * 8,)
     assert np.all(trace >= 0)
@@ -130,6 +136,10 @@ def test_hash_trace_generator_full_trace():
 def test_trace_generator_hash_function_changes_addresses():
     grid = HashGridConfig(num_levels=6, table_size=2**12, max_resolution=256)
     trace_cfg = TraceConfig(num_rays=8, points_per_ray=8)
-    morton = HashTraceGenerator(grid, trace_cfg, hash_fn=MortonLocalityHash()).addresses_for_level(5)
-    original = HashTraceGenerator(grid, trace_cfg, hash_fn=OriginalSpatialHash()).addresses_for_level(5)
+    morton = HashTraceGenerator(grid, trace_cfg, hash_fn=MortonLocalityHash()).addresses_for_level(
+        5
+    )
+    original = HashTraceGenerator(
+        grid, trace_cfg, hash_fn=OriginalSpatialHash()
+    ).addresses_for_level(5)
     assert not np.array_equal(morton, original)
