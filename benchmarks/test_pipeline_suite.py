@@ -43,6 +43,7 @@ import pytest
 
 from repro.core.codesign import AlgorithmConfig, InstantNeRFSystem
 from repro.experiments import (
+    PrecisionRunConfig,
     QualityRunConfig,
     run_fig01,
     run_fig04,
@@ -57,6 +58,7 @@ from repro.experiments import (
     run_tab02,
     run_tab03,
     run_tab04,
+    run_tab05,
 )
 from repro.experiments.runner import atomic_write_text
 from repro.nerf.encoding import HashGridConfig
@@ -90,6 +92,8 @@ FAST_NAMES = [
 ]
 CACHE_KB = (16, 64)
 OCC_RESOLUTIONS = (16, 32)
+#: Smoke-scale Table V precision pair (fp32 trained + int8 PTQ'd from it).
+TAB05_DTYPES = ("fp32", "int8")
 OVERRIDES = {
     "fig07": {"rays": RAYS, "probe_samples": PROBES},
     "fig09": {
@@ -119,7 +123,20 @@ OVERRIDES = {
         "rays_per_batch": PSNR_KW["rays_per_batch"],
         "samples_per_ray": PSNR_KW["samples_per_ray"],
     },
+    "tab05_psnr_precision": {
+        "scenes": "lego",
+        "dtypes": ",".join(TAB05_DTYPES),
+        "image_size": PSNR_KW["image_size"],
+        "num_train_views": PSNR_KW["num_train_views"],
+        "iterations": PSNR_KW["iterations"],
+        "rays_per_batch": PSNR_KW["rays_per_batch"],
+        "samples_per_ray": PSNR_KW["samples_per_ray"],
+    },
 }
+
+
+def _tab05_config() -> PrecisionRunConfig:
+    return PrecisionRunConfig(scenes=("lego",), dtypes=TAB05_DTYPES, **PSNR_KW)
 
 
 def _legacy_fast() -> dict:
@@ -143,6 +160,7 @@ def _legacy_fast() -> dict:
 def _legacy_full() -> dict:
     results = _legacy_fast()
     results["tab04"] = run_tab04(QualityRunConfig(scenes=("lego",), **PSNR_KW), ("ingp",))
+    results["tab05_psnr_precision"] = run_tab05(_tab05_config())
     results["fig12_cache_hit_rate"] = run_fig12(GRID16, TRACE, CACHE_KB, timing=False)
     results["fig13_occupancy_traffic"] = run_fig13(
         GRID16,

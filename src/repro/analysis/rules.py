@@ -14,6 +14,7 @@ field annotations, and requires everything reachable to be ``frozen=True``.
 | RPR004 | no wall clock in artifact-producing modules; timers allowlisted  |
 | RPR005 | no iteration over unordered sets feeding artifacts; ``sorted()`` |
 | RPR006 | registered experiments reuse context artifacts, never recompute  |
+| RPR007 | backend-portable kernels call ``repro.core.xp``, not numpy       |
 """
 
 from __future__ import annotations
@@ -73,6 +74,13 @@ RULES: tuple[Rule, ...] = (
         "registered experiments must reuse context-memoized artifacts",
         "recomputing traces/streams/datasets inline defeats the shared "
         "SimulationContext and risks drifting from the memoized oracle copy",
+    ),
+    Rule(
+        "RPR007",
+        "backend-portable kernels route arrays through repro.core.xp",
+        "a direct numpy call in a ported hot kernel silently pins it to the "
+        "host backend and diverges from cupy/torch runs; only the pure-numpy "
+        "*_reference oracles may bypass the shim",
     ),
 )
 
@@ -171,6 +179,46 @@ _CONTEXT_EQUIVALENTS: dict[str, str] = {
     "occupancy_grid_for_trace": "context.occupancy_grid(trace)",
     "occupancy_point_mask": "context.occupancy_mask(trace)",
 }
+
+#: Modules ported to the ``repro.core.xp`` array-backend shim: their batch
+#: compute must stay backend-portable (the ``*_reference`` oracles inside
+#: them are deliberately pure numpy and are exempt).
+XP_PORTABLE_MODULES = (
+    "src/repro/core/hashing.py",
+    "src/repro/nerf/adam.py",
+    "src/repro/nerf/encoding.py",
+    "src/repro/nerf/field.py",
+    "src/repro/nerf/mlp.py",
+    "src/repro/nerf/volume_rendering.py",
+)
+
+#: numpy calls that are backend-neutral metadata/scalar constructors — they
+#: build dtypes or host scalars, never device arrays, so portable kernels may
+#: call them directly.
+_XP_NEUTRAL_CALLS = frozenset(
+    {
+        "bool_",
+        "can_cast",
+        "dtype",
+        "finfo",
+        "float16",
+        "float32",
+        "float64",
+        "iinfo",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "isscalar",
+        "issubdtype",
+        "promote_types",
+        "result_type",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+    }
+)
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -355,6 +403,7 @@ def run_file_rules(file: FileSource, index: ProjectIndex) -> Iterator[Finding]:
     yield from _rule_rpr004(file, resolver)
     yield from _rule_rpr005(file, resolver)
     yield from _rule_rpr006(file, resolver, index)
+    yield from _rule_rpr007(file, resolver)
 
 
 def _rule_rpr001(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
@@ -571,6 +620,36 @@ def _rule_rpr006(
                 f"registered experiment recomputes {name}() inline; reuse the "
                 f"memoized artifact via {_CONTEXT_EQUIVALENTS[name]}",
             )
+
+
+def _rule_rpr007(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
+    """Backend-portable kernels route array compute through ``repro.core.xp``."""
+    if file.rel not in XP_PORTABLE_MODULES:
+        return
+    exempt: set[int] = set()
+    for node in ast.walk(file.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.endswith("_reference"):
+                exempt.update(id(sub) for sub in ast.walk(node))
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call) or id(node) in exempt:
+            continue
+        dotted = resolver.resolve(node.func)
+        if dotted is None or not dotted.startswith("numpy."):
+            continue
+        tail = dotted.removeprefix("numpy.")
+        if tail.startswith("random.") or tail in _XP_NEUTRAL_CALLS:
+            # RNG seeding stays on the host by design (backends consume the
+            # drawn arrays), and dtype/scalar constructors carry no arrays.
+            continue
+        yield _finding(
+            file,
+            node,
+            "RPR007",
+            f"direct numpy call {dotted}() in a backend-portable kernel pins "
+            "it to the host; route it through repro.core.xp (pure-numpy "
+            "*_reference oracles are exempt)",
+        )
 
 
 def _finding(file: FileSource, node: ast.AST, rule: str, message: str) -> Finding:

@@ -1,0 +1,120 @@
+"""The precision (dtype) axis shared by the executed kernels and the models.
+
+Every precision has a short name (``fp64``/``fp32``/``fp16``/``int8``) that
+flows through frozen configs into the canonical keys of the memoizing
+context and the artifact store, and three derived facts:
+
+* :func:`dtype_bytes` — bytes per stored scalar, which the *modeled* memory
+  system turns into hash-table entry widths, DRAM/SRAM traffic and MLP
+  activation bytes;
+* :func:`storage_dtype` — the numpy dtype parameters are stored in by the
+  *executed* kernels (``int8`` stores quantized table entries);
+* :func:`compute_dtype` — the numpy dtype kernels compute in (``int8``
+  tables are dequantized to float32 on gather).
+
+``int8`` table entries use an affine quantization: an 8-bit code ``q`` in
+``[-128, 127]`` maps back to ``(q + 128) * scale + zero_point`` where
+``zero_point`` is the real value of code ``-128`` (the table minimum).  The
+reconstruction error is bounded by ``scale / 2`` per entry, and constant
+tables round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = [
+    "PRECISIONS",
+    "FLOAT_PRECISIONS",
+    "compute_dtype",
+    "dequantize_int8",
+    "dtype_bytes",
+    "quantize_int8",
+    "storage_dtype",
+    "validate_precision",
+]
+
+#: Every precision of the dtype axis, widest first.
+PRECISIONS: tuple[str, ...] = ("fp64", "fp32", "fp16", "int8")
+
+#: Precisions kernels can train in (int8 tables are inference-only).
+FLOAT_PRECISIONS: tuple[str, ...] = ("fp64", "fp32", "fp16")
+
+_DTYPE_BYTES: dict[str, int] = {"fp64": 8, "fp32": 4, "fp16": 2, "int8": 1}
+
+_STORAGE_DTYPES: dict[str, type] = {
+    "fp64": np.float64,
+    "fp32": np.float32,
+    "fp16": np.float16,
+    "int8": np.int8,
+}
+
+_COMPUTE_DTYPES: dict[str, type] = {
+    "fp64": np.float64,
+    "fp32": np.float32,
+    "fp16": np.float16,
+    "int8": np.float32,  # dequantized-gather compute precision
+}
+
+#: Number of representable int8 steps between table minimum and maximum.
+_INT8_STEPS = 255
+_INT8_OFFSET = 128  # shifts [-128, 127] codes onto [0, 255] step counts
+
+
+def validate_precision(name: str, allowed: tuple[str, ...] = PRECISIONS) -> str:
+    """Check a precision name against the axis; returns it unchanged."""
+    if name not in allowed:
+        raise ValueError(f"unknown precision {name!r}; expected one of {', '.join(allowed)}")
+    return name
+
+
+def dtype_bytes(name: str) -> int:
+    """Bytes per stored scalar of a named precision."""
+    return _DTYPE_BYTES[validate_precision(name)]
+
+
+def storage_dtype(name: str) -> Any:
+    """numpy dtype parameters of this precision are stored in."""
+    return _STORAGE_DTYPES[validate_precision(name)]
+
+
+def compute_dtype(name: str) -> Any:
+    """numpy dtype kernels compute in at this precision."""
+    return _COMPUTE_DTYPES[validate_precision(name)]
+
+
+def quantize_int8(values: NDArray[Any]) -> tuple[NDArray[np.int8], float, float]:
+    """Affine int8 quantization of an array; returns ``(codes, scale, zero_point)``.
+
+    ``zero_point`` is the real value reconstructed for code ``-128`` (the
+    array minimum), ``scale`` the real-value width of one code step.  A
+    constant array gets ``scale = 1.0`` and every entry the code ``-128``,
+    so it round-trips exactly; otherwise the reconstruction error is at most
+    ``scale / 2`` per entry.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        return data.astype(np.int8), 1.0, 0.0
+    if not np.all(np.isfinite(data)):
+        raise ValueError("quantize_int8 requires finite values")
+    lo = float(data.min())
+    hi = float(data.max())
+    scale = (hi - lo) / _INT8_STEPS
+    if scale <= 0.0 or not np.isfinite(scale):
+        scale = 1.0
+    steps = np.rint((data - lo) / scale) - _INT8_OFFSET
+    codes = np.clip(steps, -128, 127).astype(np.int8)
+    return codes, scale, lo
+
+
+def dequantize_int8(
+    codes: NDArray[Any], scale: float, zero_point: float, dtype: Any = np.float32
+) -> NDArray[Any]:
+    """Reconstruct real values from int8 codes produced by :func:`quantize_int8`."""
+    out: NDArray[Any] = (
+        (codes.astype(np.float64) + _INT8_OFFSET) * scale + zero_point
+    ).astype(dtype)
+    return out

@@ -1,0 +1,133 @@
+"""Pluggable array backend for the hot kernels (``repro.core.xp``).
+
+The module is a thin array-API shim: kernel code does ``from ..core import
+xp`` and calls ``xp.empty`` / ``xp.clip`` / ``xp.matmul`` exactly as it would
+call ``numpy``.  Attribute access forwards to the *active backend module* —
+numpy by default, ``cupy`` (a drop-in numpy API on GPU) or ``torch`` (whose
+top-level namespace mirrors the numpy functions these kernels use) when the
+package is importable and selected.  No backend other than numpy is ever a
+hard dependency: selecting an uninstalled backend raises ``ImportError`` and
+leaves the previous backend active.
+
+Selection, in precedence order:
+
+1. :func:`set_backend` at runtime (``set_backend("numpy")``).
+2. The ``REPRO_XP`` environment variable, read lazily on first use (and again
+   by :func:`reset_backend`).  An empty value means "unset".
+3. The default, ``numpy``.
+
+The ``*_reference`` oracle functions throughout the repo intentionally bypass
+this shim and call numpy directly, so every backend is pinned to the same
+answers by the equivalence tests (lint rule RPR007 enforces the split).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from types import ModuleType
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "asnumpy",
+    "available_backends",
+    "backend_module",
+    "get_backend",
+    "reset_backend",
+    "set_backend",
+]
+
+#: Environment variable naming the initial backend (e.g. ``REPRO_XP=numpy``).
+ENV_VAR = "REPRO_XP"
+
+DEFAULT_BACKEND = "numpy"
+
+#: Backend name -> importable module path.  numpy is always available; the
+#: others are optional accelerators resolved only when actually importable.
+_BACKEND_MODULES: dict[str, str] = {
+    "numpy": "numpy",
+    "cupy": "cupy",
+    "torch": "torch",
+}
+
+_active_name: str | None = None
+_active_module: ModuleType | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names importable in this environment (always includes numpy)."""
+    names = []
+    for name, module_path in sorted(_BACKEND_MODULES.items()):
+        if name == DEFAULT_BACKEND or importlib.util.find_spec(module_path) is not None:
+            names.append(name)
+    return tuple(names)
+
+
+def _import_backend(name: str) -> ModuleType:
+    key = name.strip().lower()
+    if key not in _BACKEND_MODULES:
+        known = ", ".join(sorted(_BACKEND_MODULES))
+        raise ValueError(f"unknown array backend {name!r}; known backends: {known}")
+    try:
+        return importlib.import_module(_BACKEND_MODULES[key])
+    except ImportError as exc:
+        raise ImportError(
+            f"array backend {key!r} is not importable here ({exc}); "
+            f"install it or select one of: {', '.join(available_backends())}"
+        ) from exc
+
+
+def set_backend(name: str) -> str:
+    """Activate a backend by name; returns the canonical active name.
+
+    Raises ``ValueError`` for unknown names and ``ImportError`` when the
+    backend package is not installed — in both cases the previously active
+    backend stays in effect.
+    """
+    global _active_name, _active_module
+    module = _import_backend(name)
+    _active_name = name.strip().lower()
+    _active_module = module
+    return _active_name
+
+
+def get_backend() -> str:
+    """Name of the active backend, initialising from ``REPRO_XP`` on first use."""
+    if _active_name is None:
+        return reset_backend()
+    return _active_name
+
+
+def reset_backend() -> str:
+    """Re-read ``REPRO_XP`` (empty/unset -> numpy) and activate that backend."""
+    env = os.environ.get(ENV_VAR, "").strip()
+    return set_backend(env or DEFAULT_BACKEND)
+
+
+def backend_module() -> ModuleType:
+    """The module the shim currently forwards to (numpy/cupy/torch)."""
+    if _active_module is None:
+        reset_backend()
+    assert _active_module is not None
+    return _active_module
+
+
+def asnumpy(array: Any) -> NDArray[Any]:
+    """Convert a backend array to a host numpy array (no-op for numpy)."""
+    module = backend_module()
+    if get_backend() == "cupy":  # cupy arrays need an explicit device copy
+        converted: NDArray[Any] = module.asnumpy(array)
+        return converted
+    if get_backend() == "torch" and hasattr(array, "detach"):
+        return np.asarray(array.detach().cpu().numpy())
+    return np.asarray(array)
+
+
+def __getattr__(name: str) -> Any:
+    """Forward any other attribute (functions, dtypes, submodules) to the backend."""
+    return getattr(backend_module(), name)

@@ -19,6 +19,7 @@ from .tab01_gpu_specs import run_tab01
 from .tab02_step_sizes import run_tab02
 from .tab03_accel_config import run_tab03
 from .tab04_psnr import QualityRunConfig, run_tab04
+from .tab05_psnr_precision import PrecisionRunConfig, run_tab05
 
 __all__ = [
     "run_fig01",
@@ -38,4 +39,6 @@ __all__ = [
     "run_tab03",
     "QualityRunConfig",
     "run_tab04",
+    "PrecisionRunConfig",
+    "run_tab05",
 ]

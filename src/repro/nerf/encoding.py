@@ -9,15 +9,22 @@ Two encodings are provided:
 * :class:`FrequencyEncoding` — the sinusoidal positional encoding of vanilla
   NeRF, used by the vanilla-NeRF baseline and for view-direction encoding.
 
-Both are pure NumPy with hand-written reverse-mode gradients.
+Array math goes through the :mod:`repro.core.xp` backend shim (numpy by
+default), with hand-written reverse-mode gradients.  The table precision is
+an axis of :class:`HashGridConfig`: float tables (``fp64``/``fp32``/``fp16``)
+train end to end, while ``int8`` tables store affine-quantized entries that
+are dequantized on gather (inference only — see :meth:`quantized_int8`).
+The ``*_reference`` oracles stay pure numpy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..core import precision, xp
 from ..core.hashing import DenseGridIndexer, HashFunction, OriginalSpatialHash
 
 __all__ = [
@@ -40,8 +47,8 @@ def level_resolutions(num_levels: int, base_resolution: int, max_resolution: int
         raise ValueError("require 0 < base_resolution <= max_resolution")
     if num_levels == 1:
         return [base_resolution]
-    growth = np.exp((np.log(max_resolution) - np.log(base_resolution)) / (num_levels - 1))
-    return [int(np.floor(base_resolution * growth**level)) for level in range(num_levels)]
+    growth = math.exp((math.log(max_resolution) - math.log(base_resolution)) / (num_levels - 1))
+    return [int(math.floor(base_resolution * growth**level)) for level in range(num_levels)]
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,11 @@ class HashGridConfig:
 
     Paper-scale defaults match iNGP: ``L=16`` levels, ``T=2**19`` entries per
     level, ``F=2`` features per entry, base resolution 16, finest 2048.
+
+    ``dtype`` names the precision table entries are stored (and the encoding
+    computed) in: one of :data:`repro.core.precision.PRECISIONS`.  The
+    default ``fp32`` matches the historical float32 tables; ``int8`` stores
+    affine-quantized entries dequantized to float32 on gather.
     """
 
     num_levels: int = 16
@@ -58,6 +70,10 @@ class HashGridConfig:
     base_resolution: int = 16
     max_resolution: int = 2048
     hash_fn: HashFunction = field(default_factory=OriginalSpatialHash)
+    dtype: str = "fp32"
+
+    def __post_init__(self) -> None:
+        precision.validate_precision(self.dtype)
 
     @property
     def resolutions(self) -> list[int]:
@@ -66,6 +82,11 @@ class HashGridConfig:
     @property
     def output_dim(self) -> int:
         return self.num_levels * self.features_per_entry
+
+    @property
+    def entry_bytes(self) -> int:
+        """Bytes of one table entry (``F`` features at this precision)."""
+        return max(1, self.features_per_entry * precision.dtype_bytes(self.dtype))
 
     def level_table_entries(self, level: int) -> int:
         """Actual number of table entries used by a level.
@@ -81,10 +102,15 @@ class HashGridConfig:
         res = self.resolutions[level]
         return (res + 1) ** 3 > self.table_size
 
-    def table_bytes(self, dtype_bytes: int = 4) -> int:
-        """Total hash-table parameter footprint in bytes."""
+    def table_bytes(self, dtype_bytes: int | None = None) -> int:
+        """Total hash-table parameter footprint in bytes.
+
+        ``dtype_bytes`` overrides the per-scalar width; by default it is
+        derived from ``dtype`` (4 for the fp32 default).
+        """
+        width = precision.dtype_bytes(self.dtype) if dtype_bytes is None else dtype_bytes
         total_entries = sum(self.level_table_entries(lvl) for lvl in range(self.num_levels))
-        return total_entries * self.features_per_entry * dtype_bytes
+        return total_entries * self.features_per_entry * width
 
 
 class HashGridEncoding:
@@ -94,6 +120,11 @@ class HashGridEncoding:
     vertices, embedding lookup, trilinear interpolation, and finally the
     concatenation across levels.  The backward pass accumulates gradients
     into the embedding tables with the same trilinear weights.
+
+    With ``config.dtype == "int8"`` the tables hold quantized codes plus a
+    per-level ``(scale, zero_point)`` pair; gathers dequantize to float32 and
+    :meth:`backward` refuses to run (int8 tables are inference-only — train
+    a float encoding and convert it with :meth:`quantized_int8`).
     """
 
     def __init__(
@@ -101,16 +132,34 @@ class HashGridEncoding:
     ):
         self.config = config or HashGridConfig()
         rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        self._value_dtype = precision.compute_dtype(cfg.dtype)
+        self._grad_dtype = np.float64 if cfg.dtype == "fp64" else np.float32
+        self._quantized = cfg.dtype == "int8"
         # iNGP initialises embeddings uniformly in [-1e-4, 1e-4].
-        self.embeddings: list[np.ndarray] = [
+        init = [
             rng.uniform(
                 -1e-4,
                 1e-4,
-                size=(self.config.level_table_entries(lvl), self.config.features_per_entry),
-            ).astype(np.float32)
-            for lvl in range(self.config.num_levels)
+                size=(cfg.level_table_entries(lvl), cfg.features_per_entry),
+            )
+            for lvl in range(cfg.num_levels)
         ]
-        self.grads: list[np.ndarray] = [np.zeros_like(e) for e in self.embeddings]
+        self.scales: list[float] = [1.0] * cfg.num_levels
+        self.zero_points: list[float] = [0.0] * cfg.num_levels
+        if self._quantized:
+            self.embeddings: list[np.ndarray] = []
+            for lvl, table in enumerate(init):
+                codes, scale, zero = precision.quantize_int8(table)
+                self.embeddings.append(xp.asarray(codes))
+                self.scales[lvl] = scale
+                self.zero_points[lvl] = zero
+        else:
+            storage = precision.storage_dtype(cfg.dtype)
+            self.embeddings = [xp.asarray(table.astype(storage)) for table in init]
+        self.grads: list[np.ndarray] = [
+            xp.zeros(e.shape, dtype=self._grad_dtype) for e in self.embeddings
+        ]
         self._cache: dict | None = None
 
     # ------------------------------------------------------------------ API
@@ -131,6 +180,31 @@ class HashGridEncoding:
     def num_parameters(self) -> int:
         return int(sum(e.size for e in self.embeddings))
 
+    def quantized_int8(self, rng: np.random.Generator | None = None) -> HashGridEncoding:
+        """Post-training int8 quantization: a new encoding with code tables.
+
+        Each level's float table is affine-quantized independently (its own
+        ``scale``/``zero_point``), which bounds the per-entry reconstruction
+        error by half a code step of that level's value range.
+        """
+        if self._quantized:
+            raise ValueError("encoding is already int8-quantized")
+        out = HashGridEncoding(replace(self.config, dtype="int8"), rng=rng)
+        for level, emb in enumerate(self.embeddings):
+            codes, scale, zero = precision.quantize_int8(xp.asnumpy(emb))
+            out.embeddings[level] = xp.asarray(codes)
+            out.scales[level] = scale
+            out.zero_points[level] = zero
+        return out
+
+    def _gathered_values(self, level: int, gathered: np.ndarray) -> np.ndarray:
+        """Table entries in compute precision (dequantizes int8 codes)."""
+        if self._quantized:
+            return precision.dequantize_int8(
+                gathered, self.scales[level], self.zero_points[level], dtype=self._value_dtype
+            )
+        return gathered
+
     # ------------------------------------------------------- index helpers
     def vertex_indices(
         self, positions: np.ndarray, level: int
@@ -148,18 +222,19 @@ class HashGridEncoding:
         -------
         (indices, weights, base_coords):
             ``indices`` is ``(N, 8)`` int64 table indices, ``weights`` is the
-            ``(N, 8)`` trilinear weight of each corner, and ``base_coords``
-            is the ``(N, 3)`` integer lower-corner vertex of each cube.
+            ``(N, 8)`` trilinear weight of each corner in the encoding's
+            compute dtype (float32 by default), and ``base_coords`` is the
+            ``(N, 3)`` integer lower-corner vertex of each cube.
         """
         cfg = self.config
         res = cfg.resolutions[level]
-        pos = np.clip(np.asarray(positions, dtype=np.float64), 0.0, 1.0)
+        pos = xp.clip(xp.asarray(positions, dtype=np.float64), 0.0, 1.0)
         scaled = pos * res
-        base = np.floor(scaled).astype(np.int64)
-        base = np.clip(base, 0, res - 1)
+        base = xp.floor(scaled).astype(np.int64)
+        base = xp.clip(base, 0, res - 1)
         frac = scaled - base  # in [0, 1)
 
-        offsets = np.array(
+        offsets = xp.array(
             [[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)], dtype=np.int64
         )  # (8, 3)
         corners = base[:, None, :] + offsets[None, :, :]  # (N, 8, 3)
@@ -171,12 +246,12 @@ class HashGridEncoding:
             idx = DenseGridIndexer(res)(corners.reshape(-1, 3), table_entries).reshape(-1, 8)
 
         # Trilinear weights: product over axes of (1-frac) or frac per corner.
-        w = np.ones((pos.shape[0], 8), dtype=np.float64)
+        w = xp.ones((pos.shape[0], 8), dtype=np.float64)
         for axis in range(3):
             take_hi = offsets[:, axis][None, :]  # (1, 8)
             f = frac[:, axis][:, None]  # (N, 1)
-            w = w * np.where(take_hi == 1, f, 1.0 - f)
-        return idx, w.astype(np.float32), base
+            w = w * xp.where(take_hi == 1, f, 1.0 - f)
+        return idx, w.astype(self._value_dtype), base
 
     #: Points per block of the fused multi-level pass.  The block bounds the
     #: working set ((L, block, 8, 3) corners and friends) to a few MB so the
@@ -200,16 +275,16 @@ class HashGridEncoding:
         -------
         (indices, weights):
             ``indices`` is ``(L, N, 8)`` int64 and ``weights`` is ``(L, N, 8)``
-            float32.
+            in the encoding's compute dtype (float32 by default).
         """
         cfg = self.config
-        pos = np.clip(np.asarray(positions, dtype=np.float64), 0.0, 1.0)
+        pos = xp.clip(xp.asarray(positions, dtype=np.float64), 0.0, 1.0)
         n = pos.shape[0]
         block = self.MULTILEVEL_BLOCK
         if n <= block:
             return self._multilevel_block(pos)
-        idx = np.empty((cfg.num_levels, n, 8), dtype=np.int64)
-        w = np.empty((cfg.num_levels, n, 8), dtype=np.float32)
+        idx = xp.empty((cfg.num_levels, n, 8), dtype=np.int64)
+        w = xp.empty((cfg.num_levels, n, 8), dtype=self._value_dtype)
         for start in range(0, n, block):
             stop = min(start + block, n)
             idx[:, start:stop], w[:, start:stop] = self._multilevel_block(pos[start:stop])
@@ -219,52 +294,52 @@ class HashGridEncoding:
         """Fused multi-level indices/weights for one block of clipped positions."""
         cfg = self.config
         n = pos.shape[0]
-        res = np.asarray(cfg.resolutions, dtype=np.int64)  # (L,)
+        res = xp.asarray(cfg.resolutions, dtype=np.int64)  # (L,)
         scaled = pos[None, :, :] * res[:, None, None].astype(np.float64)  # (L, N, 3)
-        base = np.floor(scaled).astype(np.int64)
-        base = np.clip(base, 0, (res - 1)[:, None, None])
+        base = xp.floor(scaled).astype(np.int64)
+        base = xp.clip(base, 0, (res - 1)[:, None, None])
         frac = scaled - base  # (L, N, 3), in [0, 1)
 
-        offsets = np.array(
+        offsets = xp.array(
             [[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)], dtype=np.int64
         )  # (8, 3)
         # Trilinear weights for all levels at once; same multiply order as the
-        # per-level path so the float32 results match bit-for-bit.
-        w = np.ones((cfg.num_levels, n, 8), dtype=np.float64)
+        # per-level path so the reduced-precision results match bit-for-bit.
+        w = xp.ones((cfg.num_levels, n, 8), dtype=np.float64)
         for axis in range(3):
             take_hi = offsets[:, axis][None, None, :]  # (1, 1, 8)
             f = frac[:, :, axis][:, :, None]  # (L, N, 1)
-            w = w * np.where(take_hi == 1, f, 1.0 - f)
+            w = w * xp.where(take_hi == 1, f, 1.0 - f)
 
         # Incremental corner hashing from the base vertices: no (L, N, 8, 3)
         # corner expansion is ever materialized.
-        idx = np.empty((cfg.num_levels, n, 8), dtype=np.int64)
+        idx = xp.empty((cfg.num_levels, n, 8), dtype=np.int64)
         for level in range(cfg.num_levels):
             entries = cfg.level_table_entries(level)
             if cfg.level_uses_hash(level):
                 idx[level] = cfg.hash_fn.corner_hashes(base[level], entries)
             else:
                 idx[level] = DenseGridIndexer(int(res[level])).corner_hashes(base[level], entries)
-        return idx, w.astype(np.float32)
+        return idx, w.astype(self._value_dtype)
 
     # ------------------------------------------------------------- forward
     def forward(self, positions: np.ndarray) -> np.ndarray:
-        """Encode positions; returns ``(N, L*F)`` float32 features.
+        """Encode positions; returns ``(N, L*F)`` features in compute dtype.
 
         Uses the fused multi-level path of :meth:`multilevel_vertex_indices`;
         :meth:`forward_reference` keeps the original per-level loop as the
         oracle the fused path is tested against.
         """
-        positions = np.asarray(positions, dtype=np.float64)
+        positions = xp.asarray(positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 3:
             raise ValueError(f"positions must have shape (N, 3), got {positions.shape}")
         cfg = self.config
         n = positions.shape[0]
         idx, w = self.multilevel_vertex_indices(positions)
-        features = np.empty((n, cfg.output_dim), dtype=np.float32)
+        features = xp.empty((n, cfg.output_dim), dtype=self._value_dtype)
         cache_levels = []
         for level in range(cfg.num_levels):
-            emb = self.embeddings[level][idx[level]]  # (N, 8, F)
+            emb = self._gathered_values(level, self.embeddings[level][idx[level]])  # (N, 8, F)
             feat = (emb * w[level][:, :, None]).sum(axis=1)  # (N, F)
             lo = level * cfg.features_per_entry
             features[:, lo : lo + cfg.features_per_entry] = feat
@@ -281,11 +356,11 @@ class HashGridEncoding:
             raise ValueError(f"positions must have shape (N, 3), got {positions.shape}")
         cfg = self.config
         n = positions.shape[0]
-        features = np.empty((n, cfg.output_dim), dtype=np.float32)
+        features = np.empty((n, cfg.output_dim), dtype=self._value_dtype)
         cache_levels = []
         for level in range(cfg.num_levels):
             idx, w, _ = self.vertex_indices(positions, level)
-            emb = self.embeddings[level][idx]  # (N, 8, F)
+            emb = self._gathered_values(level, self.embeddings[level][idx])  # (N, 8, F)
             feat = (emb * w[:, :, None]).sum(axis=1)  # (N, F)
             lo = level * cfg.features_per_entry
             features[:, lo : lo + cfg.features_per_entry] = feat
@@ -301,21 +376,26 @@ class HashGridEncoding:
         most recent :meth:`forward` call.  Positions are treated as constants
         (iNGP does not back-propagate into sample positions either).
 
-        The scatter-add over the 8 cube corners uses a ``np.bincount``
-        segment sum per feature channel (accumulated in float64), which is
-        typically an order of magnitude faster than the ``np.add.at`` path
-        retained in :meth:`backward_reference`.
+        The scatter-add over the 8 cube corners uses a ``bincount`` segment
+        sum per feature channel (accumulated in float64), which is typically
+        an order of magnitude faster than the ``np.add.at`` path retained in
+        :meth:`backward_reference`.
         """
+        if self._quantized:
+            raise RuntimeError(
+                "int8-quantized tables are inference-only; train a float encoding "
+                "and convert it with quantized_int8()"
+            )
         if self._cache is None:
             raise RuntimeError("backward() called before forward()")
         cfg = self.config
-        grad_output = np.asarray(grad_output, dtype=np.float32)
+        grad_output = xp.asarray(grad_output, dtype=self._grad_dtype)
         expected = (self._cache["n"], cfg.output_dim)
         if grad_output.shape != expected:
             raise ValueError(f"grad_output shape {grad_output.shape} != {expected}")
         # Reusable (N, 8) float64 weight buffer: multiplying straight into
         # float64 lets bincount consume the weights without an internal cast.
-        buf = np.empty((expected[0], 8), dtype=np.float64)
+        buf = xp.empty((expected[0], 8), dtype=np.float64)
         flat_buf = buf.reshape(-1)
         for level, (idx, w) in enumerate(self._cache["levels"]):
             lo = level * cfg.features_per_entry
@@ -323,15 +403,20 @@ class HashGridEncoding:
             entries = self.grads[level].shape[0]
             # dL/d emb[idx] = w * g_feat, segment-summed over the 8 corners.
             for f in range(cfg.features_per_entry):
-                np.multiply(w, grad_output[:, lo + f][:, None], out=buf)
-                self.grads[level][:, f] += np.bincount(flat_idx, flat_buf, minlength=entries)
+                xp.multiply(w, grad_output[:, lo + f][:, None], out=buf)
+                self.grads[level][:, f] += xp.bincount(flat_idx, flat_buf, minlength=entries)
 
     def backward_reference(self, grad_output: np.ndarray) -> None:
         """Original ``np.add.at`` scatter backward, kept as the oracle for tests."""
+        if self._quantized:
+            raise RuntimeError(
+                "int8-quantized tables are inference-only; train a float encoding "
+                "and convert it with quantized_int8()"
+            )
         if self._cache is None:
             raise RuntimeError("backward() called before forward()")
         cfg = self.config
-        grad_output = np.asarray(grad_output, dtype=np.float32)
+        grad_output = np.asarray(grad_output, dtype=self._grad_dtype)
         expected = (self._cache["n"], cfg.output_dim)
         if grad_output.shape != expected:
             raise ValueError(f"grad_output shape {grad_output.shape} != {expected}")
@@ -358,7 +443,7 @@ class FrequencyEncoding:
         self.input_dim = input_dim
         self.num_frequencies = num_frequencies
         self.include_input = include_input
-        self.freq_bands = (2.0 ** np.arange(num_frequencies)).astype(np.float64) * np.pi
+        self.freq_bands = (2.0 ** xp.arange(num_frequencies)).astype(np.float64) * np.pi
 
     @property
     def output_dim(self) -> int:
@@ -368,15 +453,16 @@ class FrequencyEncoding:
         return dim
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = xp.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.input_dim:
             raise ValueError(f"expected shape (N, {self.input_dim}), got {x.shape}")
         angles = x[:, :, None] * self.freq_bands[None, None, :]  # (N, D, K)
-        enc = np.concatenate(
-            [np.sin(angles).reshape(x.shape[0], -1), np.cos(angles).reshape(x.shape[0], -1)], axis=1
+        enc = xp.concatenate(
+            [xp.sin(angles).reshape(x.shape[0], -1), xp.cos(angles).reshape(x.shape[0], -1)],
+            axis=1,
         )
         if self.include_input:
-            enc = np.concatenate([x, enc], axis=1)
+            enc = xp.concatenate([x, enc], axis=1)
         return enc.astype(np.float32)
 
     __call__ = forward

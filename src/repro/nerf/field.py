@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core import precision, xp
 from .encoding import FrequencyEncoding, HashGridConfig, HashGridEncoding
 from .mlp import MLP, sigmoid, sigmoid_grad, softplus, softplus_grad
 
@@ -50,8 +51,15 @@ class RadianceField:
 
 
 def _check_inputs(positions: np.ndarray, directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    positions = np.asarray(positions, dtype=np.float64)
-    directions = np.asarray(directions, dtype=np.float64)
+    # Existing float dtypes are preserved (the encodings cast where they need
+    # to); only non-float inputs are promoted, so no copy happens on the
+    # common float64 path.
+    positions = xp.asarray(positions)
+    directions = xp.asarray(directions)
+    if positions.dtype.kind != "f":
+        positions = positions.astype(np.float64)
+    if directions.dtype.kind != "f":
+        directions = directions.astype(np.float64)
     if positions.ndim != 2 or positions.shape[1] != 3:
         raise ValueError(f"positions must be (N, 3), got {positions.shape}")
     if directions.shape != positions.shape:
@@ -69,6 +77,10 @@ class InstantNGPField(RadianceField):
       ``geo_features`` values feed the color MLP.
     * color MLP: ``geo_features + dir_enc -> 64 -> 64 -> 3`` with a sigmoid
       output.
+
+    The compute precision follows ``grid_config.dtype``: both MLPs run at the
+    table precision (float32 for ``int8`` tables, whose gathers dequantize to
+    float32).  The ``(sigma, rgb)`` interface stays float64 regardless.
     """
 
     name = "ingp"
@@ -82,7 +94,11 @@ class InstantNGPField(RadianceField):
         rng: np.random.Generator | None = None,
     ):
         rng = rng or np.random.default_rng(0)
-        self.encoding = HashGridEncoding(grid_config, rng=rng)
+        self.grid_config = grid_config or HashGridConfig()
+        self.encoding = HashGridEncoding(self.grid_config, rng=rng)
+        mlp_dtype = "fp32" if self.grid_config.dtype == "int8" else self.grid_config.dtype
+        self._compute_dtype = precision.compute_dtype(self.grid_config.dtype)
+        self._grad_dtype = np.float64 if self.grid_config.dtype == "fp64" else np.float32
         self.geo_features = int(geo_features)
         self.dir_encoding = FrequencyEncoding(
             input_dim=3, num_frequencies=dir_frequencies, include_input=True
@@ -92,12 +108,14 @@ class InstantNGPField(RadianceField):
             hidden_activation="relu",
             output_activation="none",
             rng=rng,
+            dtype=mlp_dtype,
         )
         self.color_mlp = MLP(
             [self.geo_features + self.dir_encoding.output_dim, hidden_dim, hidden_dim, 3],
             hidden_activation="relu",
             output_activation="none",
             rng=rng,
+            dtype=mlp_dtype,
         )
         self._cache: dict | None = None
 
@@ -112,7 +130,7 @@ class InstantNGPField(RadianceField):
         sigma = softplus(sigma_logit)
         geo = h[:, 1:]
         dir_enc = self.dir_encoding.forward(directions)
-        color_in = np.concatenate([geo, dir_enc], axis=1).astype(np.float32)
+        color_in = xp.concatenate([geo, dir_enc], axis=1).astype(self._compute_dtype, copy=False)
         rgb_logit = self.color_mlp.forward(color_in)  # (N, 3)   -- "MLPc"
         rgb = sigmoid(rgb_logit)
         self._cache = {
@@ -122,7 +140,7 @@ class InstantNGPField(RadianceField):
             "rgb": rgb,
             "n": positions.shape[0],
         }
-        return sigma.astype(np.float64), rgb.astype(np.float64)
+        return sigma.astype(np.float64, copy=False), rgb.astype(np.float64, copy=False)
 
     # ------------------------------------------------------------ backward
     def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray) -> None:
@@ -130,8 +148,8 @@ class InstantNGPField(RadianceField):
             raise RuntimeError("backward() called before forward()")
         cache = self._cache
         n = cache["n"]
-        grad_sigma = np.asarray(grad_sigma, dtype=np.float32).reshape(n)
-        grad_rgb = np.asarray(grad_rgb, dtype=np.float32).reshape(n, 3)
+        grad_sigma = xp.asarray(grad_sigma, dtype=self._grad_dtype).reshape(n)
+        grad_rgb = xp.asarray(grad_rgb, dtype=self._grad_dtype).reshape(n, 3)
 
         # Color branch ("MLPc_b"): sigmoid then MLP.
         grad_rgb_logit = grad_rgb * sigmoid_grad(cache["rgb_logit"], cache["rgb"])
@@ -140,7 +158,7 @@ class InstantNGPField(RadianceField):
         # Direction encoding has no trainable parameters; its grad is dropped.
 
         # Density branch ("MLPd_b"): softplus on the first channel.
-        grad_h = np.zeros((n, 1 + self.geo_features), dtype=np.float32)
+        grad_h = xp.zeros((n, 1 + self.geo_features), dtype=self._grad_dtype)
         grad_h[:, 0] = grad_sigma * softplus_grad(cache["sigma_logit"], cache["sigma"])
         grad_h[:, 1:] = grad_geo
         grad_features = self.density_mlp.backward(grad_h)
@@ -207,7 +225,7 @@ class VanillaNeRFField(RadianceField):
         positions, directions = _check_inputs(positions, directions)
         pos_enc = self.pos_encoding.forward(positions)
         dir_enc = self.dir_encoding.forward(directions)
-        x = np.concatenate([pos_enc, dir_enc], axis=1).astype(np.float32)
+        x = xp.concatenate([pos_enc, dir_enc], axis=1).astype(np.float32, copy=False)
         out = self.mlp.forward(x)  # (N, 4)
         sigma_logit = out[:, 0]
         rgb_logit = out[:, 1:]
@@ -220,16 +238,16 @@ class VanillaNeRFField(RadianceField):
             "rgb": rgb,
             "n": positions.shape[0],
         }
-        return sigma.astype(np.float64), rgb.astype(np.float64)
+        return sigma.astype(np.float64, copy=False), rgb.astype(np.float64, copy=False)
 
     def backward(self, grad_sigma: np.ndarray, grad_rgb: np.ndarray) -> None:
         if self._cache is None:
             raise RuntimeError("backward() called before forward()")
         cache = self._cache
         n = cache["n"]
-        grad_sigma = np.asarray(grad_sigma, dtype=np.float32).reshape(n)
-        grad_rgb = np.asarray(grad_rgb, dtype=np.float32).reshape(n, 3)
-        grad_out = np.zeros((n, 4), dtype=np.float32)
+        grad_sigma = xp.asarray(grad_sigma, dtype=np.float32).reshape(n)
+        grad_rgb = xp.asarray(grad_rgb, dtype=np.float32).reshape(n, 3)
+        grad_out = xp.zeros((n, 4), dtype=np.float32)
         grad_out[:, 0] = grad_sigma * softplus_grad(cache["sigma_logit"], cache["sigma"])
         grad_out[:, 1:] = grad_rgb * sigmoid_grad(cache["rgb_logit"], cache["rgb"])
         self.mlp.backward(grad_out)

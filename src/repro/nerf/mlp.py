@@ -3,21 +3,27 @@
 iNGP replaces vanilla NeRF's large MLP with two small MLPs: a density MLP
 (one hidden layer of 64 units) and a color MLP (two hidden layers of 64
 units).  This module provides a generic :class:`MLP` used by both, plus the
-activation functions and their derivatives.
+activation functions and their derivatives.  Array math goes through the
+:mod:`repro.core.xp` backend shim; the parameter/activation precision is a
+constructor axis (``fp64``/``fp32``/``fp16`` — reduced-precision networks
+keep their gradient accumulators in float32, standard mixed precision).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..core import precision, xp
 
 __all__ = ["MLP", "Activation", "relu", "sigmoid", "softplus", "identity"]
 
 
 # --------------------------------------------------------------- activations
 def relu(x: np.ndarray) -> np.ndarray:
-    return np.maximum(x, 0.0)
+    return xp.maximum(x, 0.0)
 
 
 def relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -25,10 +31,10 @@ def relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x)
+    out = xp.empty_like(x)
     pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
+    out[pos] = 1.0 / (1.0 + xp.exp(-x[pos]))
+    ex = xp.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
     return out
 
@@ -38,7 +44,7 @@ def sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 def softplus(x: np.ndarray) -> np.ndarray:
-    return np.where(x > 20.0, x, np.log1p(np.exp(np.minimum(x, 20.0))))
+    return xp.where(x > 20.0, x, xp.log1p(xp.exp(xp.minimum(x, 20.0))))
 
 
 def softplus_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -50,7 +56,7 @@ def identity(x: np.ndarray) -> np.ndarray:
 
 
 def identity_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    return np.ones_like(x)
+    return xp.ones_like(x)
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,10 @@ class MLP:
         Names from :data:`ACTIVATIONS`.
     rng:
         Generator used for He-style weight initialisation.
+    dtype:
+        Precision name for weights and activations: ``fp64``, ``fp32``
+        (default, the historical behavior) or ``fp16``.  Gradients are
+        accumulated in float32 for fp32/fp16 networks and float64 for fp64.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class MLP:
         hidden_activation: str = "relu",
         output_activation: str = "none",
         rng: np.random.Generator | None = None,
+        dtype: str = "fp32",
     ):
         if len(layer_sizes) < 2:
             raise ValueError("layer_sizes needs at least an input and an output size")
@@ -102,14 +113,19 @@ class MLP:
         self.layer_sizes = list(layer_sizes)
         self.hidden_act = ACTIVATIONS[hidden_activation]
         self.output_act = ACTIVATIONS[output_activation]
+        self.precision = precision.validate_precision(dtype, precision.FLOAT_PRECISIONS)
+        self.dtype = precision.compute_dtype(self.precision)
+        grad_dtype = np.float64 if self.precision == "fp64" else np.float32
         self.weights: list[np.ndarray] = []
         self.biases: list[np.ndarray] = []
         for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
-            scale = np.sqrt(2.0 / fan_in)
-            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(np.float32))
-            self.biases.append(np.zeros(fan_out, dtype=np.float32))
-        self.weight_grads = [np.zeros_like(w) for w in self.weights]
-        self.bias_grads = [np.zeros_like(b) for b in self.biases]
+            scale = math.sqrt(2.0 / fan_in)
+            self.weights.append(
+                xp.asarray(rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(self.dtype))
+            )
+            self.biases.append(xp.zeros(fan_out, dtype=self.dtype))
+        self.weight_grads = [xp.zeros(w.shape, dtype=grad_dtype) for w in self.weights]
+        self.bias_grads = [xp.zeros(b.shape, dtype=grad_dtype) for b in self.biases]
         self._cache: dict | None = None
 
     # ------------------------------------------------------------------ API
@@ -142,7 +158,7 @@ class MLP:
 
     # ------------------------------------------------------------- forward
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float32)
+        x = xp.asarray(x, dtype=self.dtype)
         if x.ndim != 2 or x.shape[1] != self.input_dim:
             raise ValueError(f"expected input of shape (N, {self.input_dim}), got {x.shape}")
         activations = [x]
@@ -169,7 +185,7 @@ class MLP:
         """
         if self._cache is None:
             raise RuntimeError("backward() called before forward()")
-        grad = np.asarray(grad_output, dtype=np.float32)
+        grad = xp.asarray(grad_output, dtype=self.dtype)
         activations = self._cache["activations"]
         pre_acts = self._cache["pre_acts"]
         num_layers = len(self.weights)
@@ -186,12 +202,14 @@ class MLP:
         return grad
 
     # -------------------------------------------------------- introspection
-    def intermediate_bytes(self, batch_size: int, dtype_bytes: int = 4) -> int:
+    def intermediate_bytes(self, batch_size: int, dtype_bytes: int | None = None) -> int:
         """Bytes of intermediate activations stored for a given batch size.
 
         This corresponds to the "Intermediate Data" column in paper Tab. II
         (layer-by-layer processing keeps the activations of every layer of
-        the current batch live for the backward pass).
+        the current batch live for the backward pass).  ``dtype_bytes``
+        defaults to the width of the network's own precision.
         """
+        width = precision.dtype_bytes(self.precision) if dtype_bytes is None else dtype_bytes
         hidden_units = sum(self.layer_sizes[1:])
-        return int(batch_size * hidden_units * dtype_bytes)
+        return int(batch_size * hidden_units * width)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core import precision
 from .adam import Adam
 from .field import RadianceField
 from .losses import mse_loss
@@ -27,7 +28,7 @@ from .volume_rendering import render_rays, render_rays_backward
 __all__ = ["TrainerConfig", "TrainingHistory", "Trainer"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class TrainerConfig:
     """Hyper-parameters of the training loop.
 
@@ -40,6 +41,13 @@ class TrainerConfig:
     field every ``occupancy.update_every`` iterations, and the field is only
     evaluated on samples whose cell is occupied (skipped samples contribute
     zero density/color to the renderer, exactly as empty space would).
+
+    The config is frozen so it can flow into ``config_key`` (memoizing
+    context and artifact store); ``dtype`` names the precision the sampled
+    point/direction batches are handed to the field in — ``fp64`` (the
+    historical double-precision interface) or ``fp32`` (positions quantized
+    to single precision before the forward, as real mixed-precision trainers
+    do; the field's own compute precision is set by its grid config).
     """
 
     num_iterations: int = 300
@@ -53,6 +61,13 @@ class TrainerConfig:
     seed: int = 0
     log_every: int = 0  # 0 disables progress printing
     occupancy: OccupancyGridConfig | None = None
+    dtype: str = "fp64"
+
+    def __post_init__(self) -> None:
+        # fp16 positions would quantize sample coordinates below the finest
+        # grid resolution and int8 tables cannot train at all, so the batch
+        # interface stays at fp32 or better.
+        precision.validate_precision(self.dtype, ("fp64", "fp32"))
 
 
 @dataclass
@@ -138,6 +153,11 @@ class Trainer:
         points = sample_along_rays(rays, t_values)  # (R, S, 3)
         flat_points = self.dataset.normalize_positions(points.reshape(-1, 3))
         flat_dirs = np.repeat(rays.directions, cfg.samples_per_ray, axis=0)
+        # No-op for the fp64 default (copy=False); fp32 quantizes the batch
+        # once here instead of per-module downstream.
+        batch_dtype = precision.compute_dtype(cfg.dtype)
+        flat_points = flat_points.astype(batch_dtype, copy=False)
+        flat_dirs = flat_dirs.astype(batch_dtype, copy=False)
         keep = None
         if self.occupancy_grid is not None:
             keep = self.occupancy_grid.occupied(flat_points)

@@ -70,6 +70,7 @@ SUITES: tuple[BenchSuite, ...] = (
     BenchSuite("mem", "benchmarks/test_perf_mem.py", "BENCH_mem.json"),
     BenchSuite("pipeline", "benchmarks/test_pipeline_suite.py", "BENCH_pipeline.json"),
     BenchSuite("occupancy", "benchmarks/test_perf_occupancy.py", "BENCH_occupancy.json"),
+    BenchSuite("precision", "benchmarks/test_perf_precision.py", "BENCH_precision.json"),
 )
 
 

@@ -62,6 +62,7 @@ from .store import STORE_MISS, ArtifactStore
 if TYPE_CHECKING:
     from ..core.codesign import AlgorithmConfig, InstantNeRFSystem
     from ..experiments.tab04_psnr import QualityRunConfig
+    from ..experiments.tab05_psnr_precision import PrecisionRunConfig
     from ..gpu.profiler import KernelProfile, SceneProfile
     from ..mem.hierarchy import CacheHierarchy, FilteredStream
     from ..scenes.primitives import SDFScene
@@ -512,7 +513,12 @@ class SimulationContext:
             resolution = grid.resolutions[level]
             base = np.clip((flat * resolution).astype(np.int64), 0, resolution - 1)
             return float(
-                average_row_requests_per_cube(hash_fn, base, grid.level_table_entries(level))
+                average_row_requests_per_cube(
+                    hash_fn,
+                    base,
+                    grid.level_table_entries(level),
+                    entry_bytes=trace.entry_bytes,
+                )
             )
 
         return self.memoize(key, compute)
@@ -565,6 +571,31 @@ class SimulationContext:
         )
         return self.memoize(
             key, lambda: train_method_on_scene(method, scene_name, quality_config, context=self)
+        )
+
+    def precision_psnr(
+        self, scene_name: str, dtype: str, run_config: "PrecisionRunConfig"
+    ) -> float:
+        """Held-out test PSNR of one (scene, precision) training cell.
+
+        ``fp64``/``fp32``/``fp16`` train the field end to end at that table
+        precision; ``int8`` trains at fp32 and post-training-quantizes the
+        hash tables before evaluation (int8 tables are inference-only).
+        Keyed by the derived dataset/trainer configs plus the precision, so
+        sweep cells at different dtypes never share a payload.
+        """
+        from ..experiments.tab05_psnr_precision import train_precision_on_scene
+
+        key = (
+            "precision_psnr",
+            scene_name.lower(),
+            dtype,
+            config_key(run_config.dataset_config()),
+            config_key(run_config.trainer_config(dtype)),
+            config_key(run_config.grid_config(dtype)),
+        )
+        return self.memoize(
+            key, lambda: train_precision_on_scene(scene_name, dtype, run_config, context=self)
         )
 
     # ----------------------------------------------------------- profiling

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..core import precision
 from ..nerf.encoding import HashGridConfig
 from .batch import PAPER_BATCH, BatchGeometry
 
@@ -100,10 +101,13 @@ class INGPWorkloadModel:
         geo_features: int = 15,
         dir_encoding_dim: int = 16,
         dtype_bytes: int = 2,
+        dtype: str | None = None,
     ):
         # iNGP stores the hash table, activations and MLP weights in FP16
         # (2 bytes); the Table II sizes (25 MB table, 16 MB encodings, 32 MB
         # intermediates) only come out right with half-precision storage.
+        # A named ``dtype`` (see repro.core.precision) overrides the raw
+        # byte width, scaling every size below with the precision axis.
         self.grid = grid_config or HashGridConfig()
         self.batch = batch or PAPER_BATCH
         self.batch.validate()
@@ -111,7 +115,8 @@ class INGPWorkloadModel:
         self.color_hidden = color_hidden
         self.geo_features = geo_features
         self.dir_encoding_dim = dir_encoding_dim
-        self.dtype_bytes = dtype_bytes
+        self.dtype = dtype
+        self.dtype_bytes = precision.dtype_bytes(dtype) if dtype is not None else dtype_bytes
 
     # ------------------------------------------------------------ sizes
     @property

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import precision
 from ..core.hashing import DenseGridIndexer, HashFunction
 from ..nerf.encoding import HashGridConfig
 from ..nerf.occupancy import OccupancyGrid, OccupancyGridConfig, adaptive_sample_mask
@@ -54,7 +55,12 @@ class TraceConfig:
     near: float = 0.3
     far: float = 0.55
     seed: int = 0
-    entry_bytes: int = 4  # one embedding vector: F=2 x FP16 = 32 bits
+    #: Precision of a stored table entry in the *modeled* memory system (one
+    #: of :data:`repro.core.precision.PRECISIONS`).  The default fp16 models
+    #: iNGP's production half-precision tables: F=2 x FP16 = the 4-byte
+    #: entries the previous hardcoded ``entry_bytes=4`` assumed.
+    dtype: str = "fp16"
+    features_per_entry: int = 2
     #: Optional named scene; ``None`` keeps the scene-agnostic random rays.
     scene: str | None = None
     #: Density probes per ray used to find the occupied [near, far] span.
@@ -77,6 +83,14 @@ class TraceConfig:
     #: ray reaches only after its transmittance through the scene's density
     #: has fallen below this value are dropped from the stream too.
     occupancy_termination: float = 0.0
+
+    def __post_init__(self) -> None:
+        precision.validate_precision(self.dtype)
+
+    @property
+    def entry_bytes(self) -> int:
+        """Bytes of one embedding vector (``F`` features at ``dtype`` width)."""
+        return max(1, self.features_per_entry * precision.dtype_bytes(self.dtype))
 
     def dense(self) -> "TraceConfig":
         """The occupancy-free twin of this trace (identical sampled points).

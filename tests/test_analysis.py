@@ -235,6 +235,34 @@ def test_rpr006_silent_via_context_and_outside_experiments():
     assert lint_snippet(plain, rel="src/repro/workloads/batch.py").ok
 
 
+# ----------------------------------------------------------------- RPR007
+
+
+def test_rpr007_fires_on_direct_numpy_in_portable_kernel():
+    code = "import numpy as np\ndef forward(x):\n    return np.zeros_like(x)\n"
+    result = lint_snippet(code, rel="src/repro/nerf/encoding.py")
+    assert rule_ids(result) == ["RPR007"]
+
+
+def test_rpr007_exempts_reference_oracles_and_neutral_calls():
+    code = (
+        "import numpy as np\n"
+        "from ..core import xp\n"
+        "def forward(x):\n"
+        "    dt = np.float32(0.5)\n"
+        "    rng = np.random.default_rng(0)\n"
+        "    return xp.asarray(x, dtype=np.float64), dt, rng\n"
+        "def forward_reference(x):\n"
+        "    return np.asarray(x)\n"
+    )
+    assert lint_snippet(code, rel="src/repro/nerf/encoding.py").ok
+
+
+def test_rpr007_silent_outside_portable_modules():
+    code = "import numpy as np\ndef f(x):\n    return np.zeros_like(x)\n"
+    assert lint_snippet(code, rel="src/repro/workloads/steps.py").ok
+
+
 # ----------------------------------------------------------------- waivers
 
 
@@ -291,7 +319,7 @@ def test_repo_lints_clean():
 
 def test_every_rule_has_docs_and_both_fixtures_exist():
     ids = [rule.id for rule in RULES]
-    assert ids == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+    assert ids == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"]
     for rule in RULES:
         assert rule.summary and rule.rationale
 

@@ -29,6 +29,7 @@ EXPECTED_SPECS = (
     "fig12_cache_hit_rate",
     "fig13_occupancy_traffic",
     "tab01", "tab02", "tab03", "tab04",
+    "tab05_psnr_precision",
 )
 
 

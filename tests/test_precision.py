@@ -1,0 +1,240 @@
+"""Tests for the array-backend shim and the end-to-end precision axis.
+
+Covers: ``repro.core.xp`` backend selection (module forwarding, env
+override, error paths), the ``repro.core.precision`` dtype/quantization
+helpers (including a hypothesis round-trip bound), fp16/int8 encoding and
+MLP equivalence against the fp32 path within documented tolerances, the
+precision field invalidating context/store keys, and a tiny registry-level
+tab05 run with monotone modeled reductions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import precision, xp
+from repro.core.hashing import MortonLocalityHash
+from repro.nerf.encoding import HashGridConfig, HashGridEncoding
+from repro.nerf.mlp import MLP
+from repro.nerf.trainer import TrainerConfig
+from repro.pipeline.context import SimulationContext, config_key
+from repro.core.streaming import StreamingOrder
+from repro.workloads.traces import TraceConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ------------------------------------------------------------------ xp shim
+
+
+def test_numpy_backend_forwards_module_attributes():
+    assert xp.get_backend() == "numpy"
+    assert xp.empty is np.empty
+    assert xp.float32 is np.float32
+    out = xp.asarray([1.0, 2.0])
+    assert isinstance(out, np.ndarray)
+    assert xp.asnumpy(out) is out
+    assert "numpy" in xp.available_backends()
+
+
+def test_set_backend_rejects_unknown_and_uninstalled():
+    with pytest.raises(ValueError, match="unknown array backend"):
+        xp.set_backend("jax")
+    for backend in ("cupy", "torch"):
+        if importlib.util.find_spec(backend) is None:
+            with pytest.raises(ImportError):
+                xp.set_backend(backend)
+            assert xp.get_backend() == "numpy"
+    xp.set_backend("numpy")
+    assert xp.backend_module() is np
+
+
+def test_env_override_selects_and_validates_backend():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"), REPRO_XP="numpy")
+    script = "from repro.core import xp; assert xp.get_backend() == 'numpy'"
+    subprocess.run([sys.executable, "-c", script], check=True, env=env)
+    env["REPRO_XP"] = "not-a-backend"
+    bad = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True
+    )
+    assert bad.returncode != 0
+    assert "unknown array backend" in bad.stderr
+
+
+def test_reset_backend_rereads_environment(monkeypatch):
+    monkeypatch.setenv(xp.ENV_VAR, "numpy")
+    xp.reset_backend()
+    assert xp.get_backend() == "numpy"
+    monkeypatch.delenv(xp.ENV_VAR)
+    xp.reset_backend()
+    assert xp.get_backend() == "numpy"
+
+
+# ------------------------------------------------------- precision helpers
+
+
+def test_dtype_tables():
+    assert [precision.dtype_bytes(d) for d in precision.PRECISIONS] == [8, 4, 2, 1]
+    assert precision.storage_dtype("int8") == np.int8
+    assert precision.compute_dtype("int8") == np.float32
+    assert precision.compute_dtype("fp16") == np.float16
+    with pytest.raises(ValueError, match="unknown precision"):
+        precision.validate_precision("fp8")
+    with pytest.raises(ValueError):
+        precision.validate_precision("int8", precision.FLOAT_PRECISIONS)
+
+
+def test_quantize_int8_edges():
+    codes, scale, zero = precision.quantize_int8(np.full(5, 3.25))
+    assert codes.dtype == np.int8 and scale == 1.0
+    np.testing.assert_allclose(precision.dequantize_int8(codes, scale, zero), 3.25)
+
+    empty_codes, empty_scale, empty_zero = precision.quantize_int8(np.array([]))
+    assert empty_codes.size == 0 and empty_scale == 1.0 and empty_zero == 0.0
+
+    with pytest.raises(ValueError, match="finite"):
+        precision.quantize_int8(np.array([1.0, np.nan]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=16),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+    )
+)
+def test_quantize_int8_round_trip_bound(values):
+    codes, scale, zero = precision.quantize_int8(values)
+    assert codes.dtype == np.int8
+    restored = precision.dequantize_int8(codes, scale, zero, dtype=np.float64)
+    # Affine int8 reconstruction is off by at most half a code step.
+    bound = scale / 2 * (1 + 1e-9) + 1e-12
+    assert np.max(np.abs(restored - values), initial=0.0) <= bound
+
+
+# ---------------------------------------------------- kernel equivalence
+
+
+def _small_grid(dtype: str) -> HashGridConfig:
+    return HashGridConfig(
+        num_levels=4, table_size=2**12, max_resolution=64, dtype=dtype
+    )
+
+
+def test_fp16_encoding_matches_fp32_within_tolerance():
+    rng = np.random.default_rng(7)
+    points = rng.random((256, 3))
+    fp32 = HashGridEncoding(_small_grid("fp32"), rng=np.random.default_rng(1))
+    fp16 = HashGridEncoding(_small_grid("fp16"), rng=np.random.default_rng(1))
+    out32, out16 = fp32.forward(points), fp16.forward(points)
+    assert out16.dtype == np.float16
+    # Table values are ~1e-4, fp16 keeps ~3 decimal digits: 1e-6 absolute.
+    np.testing.assert_allclose(out16, out32, atol=1e-6)
+    np.testing.assert_array_equal(out16, fp16.forward_reference(points))
+
+
+def test_int8_encoding_quantizes_within_half_step_and_is_inference_only():
+    rng = np.random.default_rng(7)
+    points = rng.random((256, 3))
+    fp32 = HashGridEncoding(_small_grid("fp32"), rng=np.random.default_rng(1))
+    int8 = fp32.quantized_int8()
+    out32, out8 = fp32.forward(points), int8.forward(points)
+    # Interpolation is convex, so the output error is bounded by the worst
+    # per-level half code step.
+    bound = max(int8.scales) / 2 * 1.01
+    np.testing.assert_allclose(out8, out32, atol=bound)
+    np.testing.assert_array_equal(out8, int8.forward_reference(points))
+    with pytest.raises(ValueError, match="already int8"):
+        int8.quantized_int8()
+    with pytest.raises(RuntimeError, match="inference-only"):
+        int8.backward(np.zeros_like(out8, dtype=np.float32))
+    with pytest.raises(RuntimeError, match="inference-only"):
+        int8.backward_reference(np.zeros_like(out8, dtype=np.float32))
+
+
+def test_mlp_fp16_matches_fp32_within_tolerance():
+    rng = np.random.default_rng(0)
+    x = rng.random((64, 8))
+    fp32 = MLP([8, 32, 4], rng=np.random.default_rng(2), dtype="fp32")
+    fp16 = MLP([8, 32, 4], rng=np.random.default_rng(2), dtype="fp16")
+    out32, out16 = fp32.forward(x), fp16.forward(x)
+    assert out16.dtype == np.float16
+    np.testing.assert_allclose(out16, out32, rtol=0, atol=5e-3)
+    with pytest.raises(ValueError):
+        MLP([8, 4], dtype="int8")
+
+
+# --------------------------------------------------- keys and invalidation
+
+
+def test_dtype_axis_invalidates_canonical_keys():
+    assert config_key(HashGridConfig(dtype="fp32")) != config_key(HashGridConfig(dtype="fp16"))
+    assert config_key(TraceConfig(dtype="fp16")) != config_key(TraceConfig(dtype="int8"))
+    assert config_key(TrainerConfig(dtype="fp64")) != config_key(TrainerConfig(dtype="fp32"))
+
+
+def test_trace_entry_bytes_follow_dtype():
+    widths = [TraceConfig(dtype=d).entry_bytes for d in precision.PRECISIONS]
+    assert widths == [16, 8, 4, 2]
+    assert TraceConfig().entry_bytes == 4  # fp16 default == the old hardcoded 4
+    with pytest.raises(ValueError):
+        TraceConfig(dtype="fp8")
+
+
+def test_trainer_config_is_frozen_and_validated():
+    cfg = TrainerConfig()
+    with pytest.raises(AttributeError):
+        cfg.dtype = "fp32"  # type: ignore[misc]
+    with pytest.raises(ValueError):
+        TrainerConfig(dtype="fp16")
+
+
+def test_narrower_entries_shrink_row_requests_monotonically():
+    ctx = SimulationContext()
+    grid = HashGridConfig(num_levels=4, table_size=2**12, max_resolution=64)
+    hash_fn = MortonLocalityHash()
+    trace = TraceConfig(num_rays=32, points_per_ray=8)
+    rows = [
+        ctx.row_requests(grid, replace(trace, dtype=d), hash_fn, StreamingOrder.RAY_FIRST, 3)
+        for d in precision.PRECISIONS
+    ]
+    assert rows == sorted(rows, reverse=True)
+    assert rows[0] > rows[-1]
+
+
+# ------------------------------------------------------------- tab05 smoke
+
+
+@pytest.mark.slow
+def test_tab05_smoke_monotone_reductions():
+    from repro.experiments.tab05_psnr_precision import PrecisionRunConfig, run_tab05
+
+    config = replace(
+        PrecisionRunConfig(),
+        image_size=12,
+        num_train_views=2,
+        iterations=4,
+        rays_per_batch=32,
+        samples_per_ray=8,
+    )
+    result = run_tab05(config)
+    assert [row["dtype"] for row in result.rows] == list(precision.PRECISIONS)
+    for metric in ("entry_bytes", "row_requests", "dram_cycles", "sram_energy_j"):
+        series = [row[metric] for row in result.rows]
+        assert series == sorted(series, reverse=True), metric
+    fp16_row = next(row for row in result.rows if row["dtype"] == "fp16")
+    assert abs(fp16_row["psnr_drop_vs_fp32_lego"]) < 0.5
+    for row in result.rows:
+        assert np.isfinite(row["psnr_lego"])
