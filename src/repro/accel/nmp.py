@@ -28,6 +28,7 @@ from ..core.parallelism import (
 )
 from ..dram.energy import DRAMEnergyModel
 from ..dram.spec import DRAMSpec, LPDDR4_2400
+from ..obs import get_metrics, get_tracer
 from ..workloads.batch import BatchGeometry
 from ..workloads.steps import INGPWorkloadModel, StepName
 from .microarch import BankMicroarchitecture
@@ -241,6 +242,23 @@ class NMPAccelerator:
 
     def step_cost(self, step: str) -> StepCost:
         """Latency/energy of one aggregated step: "HT", "MLP", "MLP_b" or "HT_b"."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._step_cost(step)
+        with tracer.span("accel.step", "accel") as span:
+            cost = self._step_cost(step)
+            # Modeled nanoseconds as the deterministic duration of the span.
+            span.set_cycles(int(cost.seconds * 1e9))
+            span.add_args(
+                step=step,
+                memory_s=cost.memory_seconds,
+                compute_s=cost.compute_seconds,
+                interbank_s=cost.interbank_seconds,
+            )
+            get_metrics().histogram("accel.step_seconds").observe(cost.seconds)
+            return cost
+
+    def _step_cost(self, step: str) -> StepCost:
         if step not in ("HT", "MLP", "MLP_b", "HT_b"):
             raise ValueError(f"unknown step {step!r}")
         cfg = self.config

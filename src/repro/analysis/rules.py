@@ -15,6 +15,7 @@ field annotations, and requires everything reachable to be ``frozen=True``.
 | RPR005 | no iteration over unordered sets feeding artifacts; ``sorted()`` |
 | RPR006 | registered experiments reuse context artifacts, never recompute  |
 | RPR007 | backend-portable kernels call ``repro.core.xp``, not numpy       |
+| RPR008 | no ad-hoc print/logging in ``src/repro``; emit via ``repro.obs`` |
 """
 
 from __future__ import annotations
@@ -82,17 +83,33 @@ RULES: tuple[Rule, ...] = (
         "host backend and diverges from cupy/torch runs; only the pure-numpy "
         "*_reference oracles may bypass the shim",
     ),
+    Rule(
+        "RPR008",
+        "span/metric emission goes through repro.obs",
+        "ad-hoc print/logging inside the simulation stack bypasses the "
+        "observability layer (and can interleave nondeterministically under "
+        "the sweep executors); emit through repro.obs spans/metrics/console, "
+        "or from the allowlisted CLI front-ends",
+    ),
 )
 
 #: The only module allowed to perform raw writes (it implements the primitive).
 IOUTIL_MODULE = "src/repro/core/ioutil.py"
 
-#: Modules allowed to call monotonic timers (the repo's timing surface).
-TIMING_ALLOWLIST = (
-    "src/repro/pipeline/cli.py",
-    "src/repro/nerf/trainer.py",
-)
+#: The one module allowed to call monotonic timers: the sanctioned accessor
+#: everything else (CLI timing lines, trainer iteration timing, the tracer's
+#: wall timeline) imports ``wall_time`` from.
+TIMING_ALLOWLIST = ("src/repro/obs/clock.py",)
 TIMING_ALLOWLIST_DIRS = ("benchmarks/",)
+
+#: CLI front-ends allowed to ``print`` directly (human-facing tables/status);
+#: everything else in ``src/repro`` emits through ``repro.obs``.
+OBS_EMISSION_ALLOWLIST = (
+    "src/repro/pipeline/cli.py",
+    "src/repro/pipeline/bench.py",
+    "src/repro/analysis/cli.py",
+)
+OBS_EMISSION_ALLOWLIST_DIRS = ("src/repro/obs/",)
 
 #: numpy.random attributes that are deterministic constructors, not draws.
 _NP_RANDOM_SAFE = frozenset(
@@ -404,6 +421,7 @@ def run_file_rules(file: FileSource, index: ProjectIndex) -> Iterator[Finding]:
     yield from _rule_rpr005(file, resolver)
     yield from _rule_rpr006(file, resolver, index)
     yield from _rule_rpr007(file, resolver)
+    yield from _rule_rpr008(file, resolver)
 
 
 def _rule_rpr001(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
@@ -650,6 +668,40 @@ def _rule_rpr007(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
             "it to the host; route it through repro.core.xp (pure-numpy "
             "*_reference oracles are exempt)",
         )
+
+
+def _rule_rpr008(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
+    """Span/metric emission goes through ``repro.obs``, not print/logging."""
+    if not file.rel.startswith("src/repro/"):
+        return
+    if file.rel in OBS_EMISSION_ALLOWLIST:
+        return
+    if any(file.rel.startswith(prefix) for prefix in OBS_EMISSION_ALLOWLIST_DIRS):
+        return
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = resolver.resolve(node.func)
+        if dotted is None:
+            continue
+        if dotted in ("print", "builtins.print"):
+            yield _finding(
+                file,
+                node,
+                "RPR008",
+                "ad-hoc print() inside the simulation stack; report progress "
+                "through repro.obs.console() and record measurements as "
+                "repro.obs spans/metrics",
+            )
+        elif dotted.startswith("logging."):
+            yield _finding(
+                file,
+                node,
+                "RPR008",
+                f"ad-hoc {dotted}() inside the simulation stack; record "
+                "measurements through repro.obs spans/metrics instead of a "
+                "logging side channel",
+            )
 
 
 def _finding(file: FileSource, node: ast.AST, rule: str, message: str) -> Finding:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_metrics, get_tracer
 from .controller import ChannelController
 from .energy import DRAMEnergyModel, EnergyBreakdown
 from .spec import DRAMSpec, LPDDR4_2400
@@ -79,22 +80,28 @@ class DRAMSystem:
             cross the external I/O interface, which reduces I/O energy —
             the accounting behind the Fig. 11(b) energy-efficiency gains.
         """
-        self.reset()
-        org = self.spec.organization
-        per_channel: dict[int, list[MemoryRequest]] = {c: [] for c in range(org.num_channels)}
-        if requests:
-            # Route every request with one vectorized decode instead of one
-            # 6-array decode per request.
-            addresses = np.array([request.address for request in requests], dtype=np.int64)
-            channels = self.channels[0].mapper.decode_array(addresses)[0]
-            for request, channel in zip(requests, channels):
-                per_channel[int(channel) % org.num_channels].append(request)
+        with get_tracer().span("dram.service_requests", "dram") as span:
+            self.reset()
+            org = self.spec.organization
+            per_channel: dict[int, list[MemoryRequest]] = {c: [] for c in range(org.num_channels)}
+            if requests:
+                # Route every request with one vectorized decode instead of one
+                # 6-array decode per request.
+                addresses = np.array([request.address for request in requests], dtype=np.int64)
+                channels = self.channels[0].mapper.decode_array(addresses)[0]
+                for request, channel in zip(requests, channels):
+                    per_channel[int(channel) % org.num_channels].append(request)
 
-        finish_cycles = [
-            self.channels[c].service_all(reqs) for c, reqs in per_channel.items() if reqs
-        ]
-        total_cycles = int(max(finish_cycles)) if finish_cycles else 0
-        return self._summarise(total_cycles, near_bank=near_bank)
+            finish_cycles = [
+                self.channels[c].service_all(reqs) for c, reqs in per_channel.items() if reqs
+            ]
+            total_cycles = int(max(finish_cycles)) if finish_cycles else 0
+            result = self._summarise(total_cycles, near_bank=near_bank)
+            if span.enabled:
+                span.set_cycles(result.total_cycles)
+                span.add_args(requests=result.total_requests)
+                self._emit_metrics(result)
+            return result
 
     def service_addresses(
         self,
@@ -124,26 +131,45 @@ class DRAMSystem:
         Produces the same :class:`TraceResult` as :meth:`service_requests` on
         the equivalent trace.
         """
-        self.reset()
-        org = self.spec.organization
-        addresses = np.asarray(addresses, dtype=np.int64).ravel()
-        if np.any(addresses < 0):
-            raise ValueError("addresses must be non-negative")
-        finish_cycles = []
-        if addresses.size:
-            channels = self.channels[0].mapper.decode_array(addresses)[0] % org.num_channels
-            for c in range(org.num_channels):
-                chunk = addresses[channels == c]
-                if chunk.size:
-                    finish_cycles.append(
-                        self.channels[c].service_batch(
-                            chunk, request_type=request_type, size_bytes=size_bytes
+        with get_tracer().span("dram.service_batch", "dram") as span:
+            self.reset()
+            org = self.spec.organization
+            addresses = np.asarray(addresses, dtype=np.int64).ravel()
+            if np.any(addresses < 0):
+                raise ValueError("addresses must be non-negative")
+            finish_cycles = []
+            if addresses.size:
+                channels = self.channels[0].mapper.decode_array(addresses)[0] % org.num_channels
+                for c in range(org.num_channels):
+                    chunk = addresses[channels == c]
+                    if chunk.size:
+                        finish_cycles.append(
+                            self.channels[c].service_batch(
+                                chunk, request_type=request_type, size_bytes=size_bytes
+                            )
                         )
-                    )
-        total_cycles = int(max(finish_cycles)) if finish_cycles else 0
-        return self._summarise(total_cycles, near_bank=near_bank)
+            total_cycles = int(max(finish_cycles)) if finish_cycles else 0
+            result = self._summarise(total_cycles, near_bank=near_bank)
+            if span.enabled:
+                span.set_cycles(result.total_cycles)
+                span.add_args(requests=result.total_requests)
+                self._emit_metrics(result)
+            return result
 
     # ------------------------------------------------------------ internals
+    def _emit_metrics(self, result: TraceResult) -> None:
+        """Record one serviced trace in the metrics registry (enabled-only)."""
+        metrics = get_metrics()
+        metrics.counter("dram.requests").inc(result.total_requests)
+        metrics.counter("dram.row_hits").inc(result.row_hits)
+        metrics.counter("dram.row_misses").inc(result.row_misses)
+        metrics.counter("dram.bank_conflicts").inc(result.bank_conflicts)
+        metrics.counter("dram.bytes_transferred").inc(result.bytes_transferred)
+        for channel in self.channels:
+            if channel.stats.requests:
+                metrics.counter(f"dram.channel{channel.channel_id}.busy_cycles").inc(
+                    channel.stats.busy_cycles
+                )
     def _summarise(self, total_cycles: int, near_bank: bool) -> TraceResult:
         org = self.spec.organization
         requests = sum(c.stats.requests for c in self.channels)

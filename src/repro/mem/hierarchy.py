@@ -33,6 +33,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from ..accel.scratchpad import Scratchpad
+from ..obs import get_metrics, get_tracer
 from .cache import (
     MISS,
     PREFETCH_FILL,
@@ -268,13 +269,28 @@ class CacheHierarchy:
         Returns the :class:`FilteredStream` whose ``dram_addresses`` are the
         only requests the DRAM system still has to service.
         """
-        lines = self._prepare(addresses, accesses_per_point)
-        emit = scratchpad_filter(lines, self.capacity_lines)
-        demand = lines[emit]
-        merged, is_prefetch = plan_prefetches(demand, self.prefetcher)
-        is_write = ~is_prefetch if writes else None
-        outcomes, cache_stats = simulate_cache(merged, self.cache, is_write, is_prefetch)
-        return self._assemble(lines, emit, merged, is_prefetch, outcomes, cache_stats, entry_bytes)
+        with get_tracer().span("mem.filter_stream", "mem") as span:
+            lines = self._prepare(addresses, accesses_per_point)
+            emit = scratchpad_filter(lines, self.capacity_lines)
+            demand = lines[emit]
+            merged, is_prefetch = plan_prefetches(demand, self.prefetcher)
+            is_write = ~is_prefetch if writes else None
+            outcomes, cache_stats = simulate_cache(merged, self.cache, is_write, is_prefetch)
+            filtered = self._assemble(
+                lines, emit, merged, is_prefetch, outcomes, cache_stats, entry_bytes
+            )
+            if span.enabled:
+                stats = filtered.stats
+                span.add_args(
+                    points=stats.num_points, dram_lines=int(filtered.dram_lines.size)
+                )
+                metrics = get_metrics()
+                metrics.counter("mem.l0_accesses").inc(stats.l0_accesses)
+                metrics.counter("mem.l0_hits").inc(stats.l0_hits)
+                metrics.counter("mem.cache_hits").inc(stats.cache.hits)
+                metrics.counter("mem.cache_misses").inc(stats.cache.misses)
+                metrics.counter("mem.dram_line_fetches").inc(int(filtered.dram_lines.size))
+            return filtered
 
     def filter_stream_reference(
         self,

@@ -11,12 +11,13 @@ differs, which is what Table IV compares.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core import precision
+from ..obs import console, get_metrics, get_tracer
+from ..obs.clock import wall_time
 from .adam import Adam
 from .field import RadianceField
 from .losses import mse_loss
@@ -191,21 +192,32 @@ class Trainer:
     def train(self, num_iterations: int | None = None) -> TrainingHistory:
         """Run the full loop; returns the accumulated history."""
         iters = num_iterations if num_iterations is not None else self.config.num_iterations
+        tracer = get_tracer()
         for _ in range(iters):
-            start = time.perf_counter()
-            loss = self.train_step()
-            self._iterations_done += 1
-            if (
-                self.occupancy_grid is not None
-                and self._iterations_done % self.config.occupancy.update_every == 0
-            ):
-                self.occupancy_grid.update(self._field_density)
-            elapsed = time.perf_counter() - start
-            self.history.losses.append(loss)
-            self.history.psnrs.append(psnr_from_mse(loss))
-            self.history.iteration_times.append(elapsed)
+            with tracer.span("nerf.train_iteration", "nerf") as span:
+                start = wall_time()
+                loss = self.train_step()
+                self._iterations_done += 1
+                if (
+                    self.occupancy_grid is not None
+                    and self._iterations_done % self.config.occupancy.update_every == 0
+                ):
+                    self.occupancy_grid.update(self._field_density)
+                elapsed = wall_time() - start
+                self.history.losses.append(loss)
+                self.history.psnrs.append(psnr_from_mse(loss))
+                self.history.iteration_times.append(elapsed)
+                if span.enabled:
+                    span.add_args(iteration=self._iterations_done, loss=loss)
+                    metrics = get_metrics()
+                    metrics.counter("nerf.iterations").inc()
+                    metrics.counter("nerf.samples_evaluated").inc(
+                        self.config.rays_per_batch * self.config.samples_per_ray
+                    )
+                    metrics.histogram("nerf.loss").observe(loss)
+                    metrics.histogram("nerf.train_psnr").observe(self.history.psnrs[-1])
             if self.config.log_every and self._iterations_done % self.config.log_every == 0:
-                print(
+                console(
                     f"iter {self._iterations_done:5d}  loss {loss:.5f}  "
                     f"train-psnr {self.history.psnrs[-1]:.2f} dB"
                 )

@@ -1,0 +1,124 @@
+"""``repro.obs`` — dual-clock tracing and metrics for the simulation stack.
+
+Process-global observability state lives here: one active :class:`Tracer`
+and one active :class:`MetricsRegistry`, both starting as null objects so
+instrumentation across ``pipeline``/``mem``/``dram``/``accel``/``nerf`` is
+free until :func:`enable` swaps in recording implementations (driven by the
+CLI's ``--trace``/``--metrics`` flags, or by a sweep worker mirroring its
+parent's settings).
+
+The module is also the sanctioned emission point for human-facing progress
+lines: lint rule RPR008 forbids ad-hoc ``print``/``logging`` in ``src/repro``
+outside the CLI front-ends, so long-running loops report through
+:func:`console` instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .clock import wall_time, wall_time_ns
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .trace import (
+    NULL_SPAN,
+    RecordingTracer,
+    SpanHandle,
+    TraceEvent,
+    Tracer,
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_SPAN",
+    "RecordingTracer",
+    "SpanHandle",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_document",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "wall_time",
+    "wall_time_ns",
+    "get_tracer",
+    "get_metrics",
+    "is_enabled",
+    "enable",
+    "disable",
+    "drain_metrics",
+    "export_chrome_trace",
+    "console",
+]
+
+_NULL_TRACER = Tracer()
+_NULL_METRICS = NullMetricsRegistry()
+
+_active_tracer: Tracer = _NULL_TRACER
+_active_metrics: MetricsRegistry = _NULL_METRICS
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (the shared null object when disabled)."""
+    return _active_tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (null object when disabled)."""
+    return _active_metrics
+
+
+def is_enabled() -> bool:
+    return _active_tracer.enabled
+
+
+def enable(wall_clock: bool = True) -> tuple[RecordingTracer, MetricsRegistry]:
+    """Swap in recording observability state (idempotent per enablement)."""
+    global _active_tracer, _active_metrics
+    tracer = RecordingTracer(wall_clock=wall_clock)
+    metrics = MetricsRegistry()
+    _active_tracer = tracer
+    _active_metrics = metrics
+    return tracer, metrics
+
+
+def disable() -> None:
+    """Restore the null objects (drops any recorded events/metrics)."""
+    global _active_tracer, _active_metrics
+    _active_tracer = _NULL_TRACER
+    _active_metrics = _NULL_METRICS
+
+
+def drain_metrics() -> dict[str, dict[str, object]]:
+    """Snapshot the active metrics and reset them.
+
+    Sweep workers ship a snapshot per cell; resetting after each snapshot
+    keeps the parent's :meth:`MetricsRegistry.merge` from double-counting a
+    worker's earlier cells.
+    """
+    global _active_metrics
+    snapshot = _active_metrics.snapshot()
+    if _active_metrics.enabled:
+        _active_metrics = MetricsRegistry()
+    return snapshot
+
+
+def export_chrome_trace(path: str | Path) -> Path:
+    """Write the active tracer's events as Chrome trace-event JSON."""
+    return write_chrome_trace(path, _active_tracer.events())
+
+
+def console(message: str) -> None:
+    """Print a human-facing progress line (RPR008's sanctioned emitter)."""
+    print(message, flush=True)

@@ -1,0 +1,272 @@
+"""Typed metrics: counters, gauges, and histograms with a null variant.
+
+The same inverted null-object pattern as :mod:`repro.obs.trace`: the real
+:class:`MetricsRegistry` is the base class and :class:`NullMetricsRegistry`
+subclasses it to hand back preallocated no-op instrument singletons, so the
+disabled hot path (`get_metrics().counter("x").inc()`) allocates nothing.
+Instrumented code should still guard emission with ``if tracer.enabled:`` —
+that skips even the no-op calls and any argument computation.
+
+Snapshots are plain JSON-shaped dictionaries so process-pool sweep workers
+can pickle them back to the parent, which :meth:`MetricsRegistry.merge`\\ s
+them (counters add, gauges last-write-wins, histograms pool their moments).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+]
+
+# All instruments of one registry share its lock: metric updates are rare
+# relative to the guarded fast path, and one lock keeps snapshot() atomic.
+_Lock = threading.Lock
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-observed value (queue depth, worker count, ...)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming count/sum/min/max over observed samples."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+class MetricsRegistry:
+    """Name-keyed registry of counters/gauges/histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = _Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(self._lock)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(self._lock)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(self._lock)
+            return instrument
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Picklable JSON-shaped state, for worker → parent shipping."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: {"count": h.count, "sum": h.total, "min": h.min, "max": h.max}
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict[str, dict[str, object]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, gauges take the incoming value, histograms pool their
+        count/sum/min/max — the exact semantics needed to aggregate sweep
+        worker processes into the parent registry.
+        """
+        counters = snapshot.get("counters", {})
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                if isinstance(value, (int, float)):
+                    self.counter(name).inc(float(value))
+        gauges = snapshot.get("gauges", {})
+        if isinstance(gauges, dict):
+            for name, value in gauges.items():
+                if isinstance(value, (int, float)):
+                    self.gauge(name).set(float(value))
+        histograms = snapshot.get("histograms", {})
+        if isinstance(histograms, dict):
+            for name, state in histograms.items():
+                if not isinstance(state, dict):
+                    continue
+                histogram = self.histogram(name)
+                count = state.get("count", 0)
+                total = state.get("sum", 0.0)
+                low = state.get("min", float("inf"))
+                high = state.get("max", float("-inf"))
+                if not isinstance(count, int) or count <= 0:
+                    continue
+                with self._lock:
+                    histogram.count += count
+                    histogram.total += float(total) if isinstance(total, (int, float)) else 0.0
+                    if isinstance(low, (int, float)) and float(low) < histogram.min:
+                        histogram.min = float(low)
+                    if isinstance(high, (int, float)) and float(high) > histogram.max:
+                        histogram.max = float(high)
+
+    def render_table(self) -> str:
+        """Fixed-width summary table for ``repro report`` / ``--metrics``."""
+        rows: list[tuple[str, str, str]] = []
+        snap = self.snapshot()
+        counters = snap["counters"]
+        gauges = snap["gauges"]
+        histograms = snap["histograms"]
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                rows.append((name, "counter", _format_number(value)))
+        if isinstance(gauges, dict):
+            for name, value in gauges.items():
+                rows.append((name, "gauge", _format_number(value)))
+        if isinstance(histograms, dict):
+            for name, state in histograms.items():
+                if isinstance(state, dict):
+                    count = state.get("count", 0)
+                    total = state.get("sum", 0.0)
+                    mean = (
+                        float(total) / float(count)
+                        if isinstance(count, int)
+                        and count > 0
+                        and isinstance(total, (int, float))
+                        else 0.0
+                    )
+                    summary = (
+                        f"n={count} mean={_format_number(mean)}"
+                        f" min={_format_number(state.get('min', 0.0))}"
+                        f" max={_format_number(state.get('max', 0.0))}"
+                    )
+                    rows.append((name, "histogram", summary))
+        rows.sort()
+        if not rows:
+            return "(no metrics recorded)"
+        name_width = max(len(name) for name, _, _ in rows)
+        kind_width = max(len(kind) for _, kind, _ in rows)
+        lines = [f"{'metric':<{name_width}}  {'kind':<{kind_width}}  value"]
+        lines.append("-" * len(lines[0]))
+        for name, kind, value in rows:
+            lines.append(f"{name:<{name_width}}  {kind:<{kind_width}}  {value}")
+        return "\n".join(lines)
+
+
+def _format_number(value: object) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return f"{number:.6g}"
+
+
+_NULL_LOCK = _Lock()
+_NULL_COUNTER = _NullCounter(_NULL_LOCK)
+_NULL_GAUGE = _NullGauge(_NULL_LOCK)
+_NULL_HISTOGRAM = _NullHistogram(_NULL_LOCK)
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict[str, dict[str, object]]) -> None:
+        return None

@@ -1,0 +1,327 @@
+"""Dual-clock tracing: nestable spans with a deterministic tick timeline.
+
+Every span carries two timelines:
+
+* a **deterministic** one — a process-local monotonically increasing tick
+  counter (plus an optional modeled-cycles duration set by the instrumented
+  subsystem via :meth:`SpanHandle.set_cycles`).  Ticks are a pure function
+  of the instrumented call sequence, so enabling tracing can never perturb
+  artifact bytes, and instrumentation is RPR004-clean by construction;
+* an optional **wall-clock** one — read exclusively through
+  :mod:`repro.obs.clock`, recorded only when the tracer was enabled with
+  ``wall_clock=True``, and used only for the exported profile.
+
+The disabled tracer is a null object: :meth:`Tracer.span` returns one
+module-level singleton span whose enter/exit/setters are no-ops, so an
+instrumented hot path pays two attribute lookups and two empty method calls
+per span and **allocates nothing**.  :class:`RecordingTracer` (the enabled
+subclass) collects :class:`TraceEvent` records that export to Chrome
+trace-event JSON (loadable in Perfetto / ``chrome://tracing``) through
+:func:`chrome_trace_document` / :func:`write_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+from typing import Iterable
+
+from ..core.ioutil import atomic_write_bytes
+from .clock import wall_time
+
+__all__ = [
+    "TraceEvent",
+    "SpanHandle",
+    "RecordingSpan",
+    "Tracer",
+    "RecordingTracer",
+    "NULL_SPAN",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One finished span (or instant marker) on both timelines.
+
+    ``tick``/``dur_ticks`` are the deterministic timeline; ``cycles`` is the
+    optional modeled duration the instrumented subsystem reported (DRAM
+    cycles, modeled nanoseconds — units are the subsystem's); ``wall_us`` /
+    ``wall_dur_us`` are present only when the tracer records wall time.
+    Plain picklable fields: process-pool sweep workers ship their events
+    back to the parent over the existing result channel.
+    """
+
+    name: str
+    category: str
+    phase: str  # "X" (complete span) or "i" (instant)
+    tick: int
+    dur_ticks: int
+    pid: int
+    tid: int
+    cycles: int | None = None
+    wall_us: float | None = None
+    wall_dur_us: float | None = None
+    args: tuple[tuple[str, object], ...] = ()
+
+
+class SpanHandle:
+    """No-op span handle; also the disabled-path singleton's type.
+
+    ``with tracer.span(...) as span:`` always works: on a disabled tracer
+    this base class is returned (as the shared :data:`NULL_SPAN` instance)
+    and every method is a no-op, so callers never branch on enablement just
+    to open a span.  Expensive argument building should still be guarded
+    with ``if span.enabled:`` (or ``tracer.enabled``).
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+    def set_cycles(self, cycles: int) -> None:
+        """Record the span's modeled duration (subsystem-defined units)."""
+
+    def add_args(self, **args: object) -> None:
+        """Attach key/value details shown in the trace viewer."""
+
+
+#: The shared disabled-path span: no per-call allocation when tracing is off.
+NULL_SPAN = SpanHandle()
+
+
+class RecordingSpan(SpanHandle):
+    """A live span of a :class:`RecordingTracer`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_tick0", "_wall0", "_cycles", "_args")
+
+    enabled = True
+
+    def __init__(self, tracer: "RecordingTracer", name: str, category: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._tick0 = 0
+        self._wall0: float | None = None
+        self._cycles: int | None = None
+        self._args: dict[str, object] = {}
+
+    def __enter__(self) -> "RecordingSpan":
+        self._tick0 = self._tracer.next_tick()
+        if self._tracer.wall_clock:
+            self._wall0 = wall_time()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        tick1 = self._tracer.next_tick()
+        wall_us: float | None = None
+        wall_dur_us: float | None = None
+        if self._wall0 is not None:
+            wall_us = self._wall0 * 1e6
+            wall_dur_us = (wall_time() - self._wall0) * 1e6
+        if exc_type is not None:
+            self._args["error"] = exc_type.__name__
+        self._tracer.record(
+            TraceEvent(
+                name=self._name,
+                category=self._category,
+                phase="X",
+                tick=self._tick0,
+                dur_ticks=tick1 - self._tick0,
+                pid=os.getpid(),
+                tid=threading.get_ident() & 0xFFFF,
+                cycles=self._cycles,
+                wall_us=wall_us,
+                wall_dur_us=wall_dur_us,
+                args=tuple(sorted(self._args.items())),
+            )
+        )
+        return None
+
+    def set_cycles(self, cycles: int) -> None:
+        self._cycles = int(cycles)
+
+    def add_args(self, **args: object) -> None:
+        self._args.update(args)
+
+
+class Tracer:
+    """The disabled tracer: every operation is an allocation-free no-op.
+
+    This base class *is* the null object — module state starts with one and
+    :class:`RecordingTracer` subclasses it — so type annotations throughout
+    the stack just say ``Tracer``.
+    """
+
+    enabled = False
+    wall_clock = False
+
+    def span(self, name: str, category: str = "pipeline") -> SpanHandle:
+        """A nestable span context manager (the null singleton when disabled)."""
+        return NULL_SPAN
+
+    def instant(self, name: str, category: str = "pipeline", **args: object) -> None:
+        """Record a zero-duration marker event."""
+
+    def events(self) -> list[TraceEvent]:
+        """Snapshot of the recorded events (empty when disabled)."""
+        return []
+
+    def drain(self) -> list[TraceEvent]:
+        """Remove and return all recorded events (worker → parent shipping)."""
+        return []
+
+    def ingest(self, events: Iterable[TraceEvent]) -> None:
+        """Adopt events recorded elsewhere (e.g. in a sweep worker process)."""
+
+
+class RecordingTracer(Tracer):
+    """Thread-safe recording tracer with the deterministic tick clock."""
+
+    enabled = True
+
+    def __init__(self, wall_clock: bool = True) -> None:
+        self.wall_clock = wall_clock
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+        self._tick = 0
+
+    def next_tick(self) -> int:
+        with self._lock:
+            self._tick += 1
+            return self._tick
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def span(self, name: str, category: str = "pipeline") -> SpanHandle:
+        return RecordingSpan(self, name, category)
+
+    def instant(self, name: str, category: str = "pipeline", **args: object) -> None:
+        tick = self.next_tick()
+        wall_us = wall_time() * 1e6 if self.wall_clock else None
+        self.record(
+            TraceEvent(
+                name=name,
+                category=category,
+                phase="i",
+                tick=tick,
+                dur_ticks=0,
+                pid=os.getpid(),
+                tid=threading.get_ident() & 0xFFFF,
+                wall_us=wall_us,
+                args=tuple(sorted(args.items())),
+            )
+        )
+
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> list[TraceEvent]:
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def ingest(self, events: Iterable[TraceEvent]) -> None:
+        with self._lock:
+            self._events.extend(events)
+
+
+# ------------------------------------------------------------ chrome export
+def chrome_trace_document(events: Iterable[TraceEvent]) -> dict[str, object]:
+    """Chrome trace-event JSON document for a batch of events.
+
+    Spans become ``ph="X"`` complete events.  The wall timeline supplies
+    ``ts``/``dur`` (microseconds) when present; otherwise the deterministic
+    tick timeline is exported one-tick-per-microsecond, which preserves
+    nesting exactly.  Both clocks always travel in ``args`` so a profile can
+    be cross-read against the deterministic record.
+    """
+    trace_events: list[dict[str, object]] = []
+    for event in sorted(events, key=lambda e: (e.pid, e.tid, e.tick)):
+        if event.wall_us is not None:
+            ts = round(event.wall_us, 3)
+            dur = round(event.wall_dur_us or 0.0, 3)
+        else:
+            ts = float(event.tick)
+            dur = float(event.dur_ticks)
+        args: dict[str, object] = dict(event.args)
+        args["det_tick"] = event.tick
+        args["det_dur_ticks"] = event.dur_ticks
+        if event.cycles is not None:
+            args["modeled_cycles"] = event.cycles
+        record: dict[str, object] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": ts,
+            "pid": event.pid,
+            "tid": event.tid,
+            "args": args,
+        }
+        if event.phase == "X":
+            record["dur"] = dur
+        else:
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, events: Iterable[TraceEvent]) -> Path:
+    """Atomically write a Perfetto-loadable Chrome trace JSON file."""
+    document = chrome_trace_document(events)
+    payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    return atomic_write_bytes(path, payload.encode())
+
+
+def validate_chrome_trace(payload: object) -> int:
+    """Minimal Chrome trace-event schema check; returns the event count.
+
+    Raises :class:`ValueError` on the first violation — used by the trace
+    determinism tests and the CI smoke job to assert an emitted trace is
+    actually loadable.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace document must be a JSON object, got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must hold a 'traceEvents' list")
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{position}] is not an object")
+        for field_name in ("name", "cat", "ph"):
+            if not isinstance(event.get(field_name), str):
+                raise ValueError(f"traceEvents[{position}] lacks string field {field_name!r}")
+        for field_name in ("ts", "pid", "tid"):
+            value = event.get(field_name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"traceEvents[{position}] lacks numeric field {field_name!r}")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                raise ValueError(f"traceEvents[{position}] complete event needs dur >= 0")
+    return len(events)

@@ -39,6 +39,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs import get_tracer
+
 __all__ = [
     "BenchSuite",
     "SUITES",
@@ -71,6 +73,7 @@ SUITES: tuple[BenchSuite, ...] = (
     BenchSuite("pipeline", "benchmarks/test_pipeline_suite.py", "BENCH_pipeline.json"),
     BenchSuite("occupancy", "benchmarks/test_perf_occupancy.py", "BENCH_occupancy.json"),
     BenchSuite("precision", "benchmarks/test_perf_precision.py", "BENCH_precision.json"),
+    BenchSuite("obs", "benchmarks/test_perf_obs.py", "BENCH_obs.json"),
 )
 
 
@@ -139,14 +142,18 @@ def run_suites(
             [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
         )
     exit_code = 0
+    tracer = get_tracer()
     for suite in suites:
         test_path = root / suite.test_file
         print(f"== bench run {suite.name} ({test_path}){' [smoke]' if smoke else ''} ==")
-        result = subprocess.run(
-            [sys.executable, "-m", "pytest", "-q", str(test_path), *pytest_args],
-            cwd=root,
-            env=env,
-        )
+        with tracer.span("bench.suite", "pipeline") as span:
+            result = subprocess.run(
+                [sys.executable, "-m", "pytest", "-q", str(test_path), *pytest_args],
+                cwd=root,
+                env=env,
+            )
+            if span.enabled:
+                span.add_args(suite=suite.name, exit_code=result.returncode)
         if result.returncode and not exit_code:
             exit_code = result.returncode
     return exit_code

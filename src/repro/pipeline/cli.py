@@ -28,11 +28,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..analysis.cli import add_lint_arguments, run_lint
+from ..obs.clock import wall_time
 from ..experiments.runner import (
     ExperimentResult,
     atomic_write_text,
@@ -130,6 +131,43 @@ def _add_store_flags(parser: argparse.ArgumentParser, with_resume: bool = True) 
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a dual-clock trace and write Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing); artifacts stay byte-identical",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record pipeline metrics and print a summary table at the end",
+    )
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable tracing/metrics when the command asked for them."""
+    if getattr(args, "trace", None) is None and not getattr(args, "metrics", False):
+        return False
+    obs.enable()
+    return True
+
+
+def _obs_end(args: argparse.Namespace, quiet: bool = False) -> None:
+    """Export the trace / print the metrics table, then reset obs state."""
+    if not obs.is_enabled():
+        return
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        path = obs.export_chrome_trace(trace)
+        if not quiet:
+            print(f"wrote trace {path}")
+    if getattr(args, "metrics", False) and not quiet:
+        print(obs.get_metrics().render_table())
+    obs.disable()
+
+
 def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
     """The argument parser.
 
@@ -168,6 +206,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         help="override any experiment parameter (repeatable)",
     )
     _add_store_flags(p_run)
+    _add_obs_flags(p_run)
     _add_param_flags(p_run, run_spec)
 
     p_sweep = sub.add_parser("sweep", help="sweep an experiment over a parameter grid")
@@ -199,6 +238,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         help="fixed override applied to every cell (repeatable)",
     )
     _add_store_flags(p_sweep)
+    _add_obs_flags(p_sweep)
 
     p_report = sub.add_parser("report", help="run the full suite with a shared context")
     p_report.add_argument(
@@ -224,6 +264,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         help="shrink the training-based experiments to smoke scale",
     )
     _add_store_flags(p_report, with_resume=False)
+    _add_obs_flags(p_report)
 
     p_bench = sub.add_parser("bench", help="run or gate the benchmark suites")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
@@ -237,6 +278,7 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
         help="set PERF_SMOKE=1: shrink inputs and relax wall-clock floors",
     )
     b_run.add_argument("--root", default=".", help="repository root (default: cwd)")
+    _add_obs_flags(b_run)
 
     b_cmp = bench_sub.add_parser("compare", help="gate fresh BENCH_*.json against baselines")
     b_cmp.add_argument("suites", nargs="*", help=f"suites to gate (default: all of {suite_names})")
@@ -301,7 +343,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # The run-level store key is the fully bound parameter assignment, so a
     # resumed `run` only matches the identical effective configuration.
     run_key = ("run_result", spec.name, config_key(spec.bind(overrides)))
-    started = time.perf_counter()
+    _obs_begin(args)
+    started = wall_time()
     result = None
     resumed = False
     if store is not None and args.resume:
@@ -312,7 +355,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = spec.run(context, **overrides)
         if store is not None:
             store.put(run_key, result)
-    elapsed = time.perf_counter() - started
+    elapsed = wall_time() - started
     if not args.quiet:
         print(result.to_text())
         source = "loaded from store" if resumed else "finished"
@@ -321,6 +364,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for path in _write_artifacts(result, spec.name, args.out, formats, overwrite=args.force):
         if not args.quiet:
             print(f"wrote {path}")
+    _obs_end(args, args.quiet)
     return 0
 
 
@@ -343,7 +387,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and args.store is None:
         raise SystemExit("--resume requires --store")
     store = ArtifactStore(args.store) if args.store else None
-    started = time.perf_counter()
+    _obs_begin(args)
+    started = wall_time()
     result = sweep(
         spec,
         grid,
@@ -354,7 +399,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         resume=args.resume,
     )
-    elapsed = time.perf_counter() - started
+    elapsed = wall_time() - started
     if not args.quiet:
         for cell in result.cells:
             label = ", ".join(f"{k}={v}" for k, v in cell.params.items())
@@ -372,6 +417,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         index_path = result.write(args.out, overwrite=args.force)
         if not args.quiet:
             print(f"wrote {index_path}")
+    _obs_end(args, args.quiet)
     return 1 if result.failed else 0
 
 
@@ -399,9 +445,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     overrides = FAST_OVERRIDES if args.fast else {}
     store = ArtifactStore(args.store) if args.store else None
     context = SimulationContext(store=store)
-    started = time.perf_counter()
+    _obs_begin(args)
+    started = wall_time()
     results = run_suite(names, context=context, overrides=overrides)
-    elapsed = time.perf_counter() - started
+    elapsed = wall_time() - started
     formats = [f.strip() for f in args.formats.split(",") if f.strip()]
     for name, result in results.items():
         if not args.quiet:
@@ -429,6 +476,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"[suite: {len(results)} experiments in {elapsed:.2f} s; "
             f"context reused {context.stats.hits} of {context.stats.total} artifact requests]"
         )
+    _obs_end(args, args.quiet)
     return 0
 
 
@@ -450,7 +498,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         return 0
     if args.bench_command == "run":
-        return run_suites(root, args.suites or None, smoke=args.smoke)
+        _obs_begin(args)
+        exit_code = run_suites(root, args.suites or None, smoke=args.smoke)
+        _obs_end(args)
+        return exit_code
     if args.bench_command == "compare":
         reports, exit_code = compare_suites(
             root,

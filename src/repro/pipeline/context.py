@@ -42,6 +42,7 @@ from ..core.streaming import (
     row_requests_from_corner_indices,
 )
 from ..dram.spec import DRAMSpec, get_dram_spec
+from ..obs import get_metrics, get_tracer
 from ..gpu.profiler import GPUProfiler
 from ..gpu.specs import ALL_GPUS, GPUSpec
 from ..nerf.encoding import HashGridConfig
@@ -159,6 +160,7 @@ class SimulationContext:
         miss actually runs ``compute`` (counted in ``stats.computes``), and
         the computed value is written back when it has a storable encoding.
         """
+        tracer = get_tracer()
         with self._lock:
             fut = self._cache.get(key)
             if fut is not None:
@@ -171,17 +173,28 @@ class SimulationContext:
                 self._cache[key] = fut
                 self.stats.misses += 1
         if not owner:
+            if tracer.enabled:
+                get_metrics().counter("context.memo_hits").inc()
             return cast(T, fut.result())
+        if tracer.enabled:
+            get_metrics().counter("context.memo_misses").inc()
         try:
             stored = self.store.get(key) if self.store is not None else STORE_MISS
             if stored is not STORE_MISS:
                 value = cast(T, stored)
                 with self._lock:
                     self.stats.store_hits += 1
+                if tracer.enabled:
+                    get_metrics().counter("context.store_hits").inc()
             else:
-                value = compute()
+                with tracer.span("context.compute", "pipeline") as span:
+                    if span.enabled and isinstance(key, tuple) and key:
+                        span.add_args(kind=str(key[0]))
+                    value = compute()
                 with self._lock:
                     self.stats.computes += 1
+                if tracer.enabled:
+                    get_metrics().counter("context.computes").inc()
                 if isinstance(value, np.ndarray):
                     # Memoized arrays are shared across callers (and match the
                     # read-only arrays the store / shared memory hand out):

@@ -51,6 +51,7 @@ import numpy as np
 
 from ..core.ioutil import atomic_write_bytes
 from ..core.streaming import LocalityReport
+from ..obs import get_metrics, get_tracer
 
 __all__ = [
     "ArtifactStore",
@@ -211,39 +212,46 @@ class ArtifactStore:
         ``stats.errors`` instead of failing the computation that produced
         the value.
         """
+        tracer = get_tracer()
         encoded = self._encode(value)
         if encoded is None:
             self.stats.skipped += 1
+            if tracer.enabled:
+                get_metrics().counter("store.skipped").inc()
             return False
         kind, payload = encoded
         digest = key_digest(key)
-        try:
-            if kind == "ndarray":
-                target = self._payload_path(digest, "npz")
-                if target.exists():
-                    return True
-                buffer = io.BytesIO()
-                np.savez(buffer, value=np.ascontiguousarray(payload))
-                atomic_write_bytes(target, buffer.getvalue())
-            else:
-                target = self._payload_path(digest, "json")
-                if target.exists():
-                    return True
-                document = {
-                    "schema": self.schema_version,
-                    "key": _canonical(key),
-                    "type": kind,
-                    "value": payload,
-                }
-                try:
-                    text = json.dumps(document, separators=(",", ":"), default=_json_default)
-                except (TypeError, ValueError):
-                    self.stats.skipped += 1
-                    return False
-                atomic_write_bytes(target, text.encode())
-        except OSError:
-            self.stats.errors += 1
-            return False
+        with tracer.span("store.put", "pipeline") as span:
+            try:
+                if kind == "ndarray":
+                    target = self._payload_path(digest, "npz")
+                    if target.exists():
+                        return True
+                    buffer = io.BytesIO()
+                    np.savez(buffer, value=np.ascontiguousarray(payload))
+                    atomic_write_bytes(target, buffer.getvalue())
+                else:
+                    target = self._payload_path(digest, "json")
+                    if target.exists():
+                        return True
+                    document = {
+                        "schema": self.schema_version,
+                        "key": _canonical(key),
+                        "type": kind,
+                        "value": payload,
+                    }
+                    try:
+                        text = json.dumps(document, separators=(",", ":"), default=_json_default)
+                    except (TypeError, ValueError):
+                        self.stats.skipped += 1
+                        return False
+                    atomic_write_bytes(target, text.encode())
+            except OSError:
+                self.stats.errors += 1
+                return False
+            if span.enabled:
+                span.add_args(kind=kind, digest=digest[:12])
+                get_metrics().counter("store.writes").inc()
         self.stats.writes += 1
         return True
 
@@ -254,34 +262,45 @@ class ArtifactStore:
         deleted, so the caller's recompute writes a fresh payload instead of
         leaving the key permanently broken.
         """
+        tracer = get_tracer()
         digest = key_digest(key)
         json_path = self._payload_path(digest, "json")
         npz_path = self._payload_path(digest, "npz")
         kind = key[0] if isinstance(key, tuple) and key and isinstance(key[0], str) else None
-        try:
-            if json_path.exists():
-                document = json.loads(json_path.read_text())
-                if document.get("schema") != self.schema_version:
+        with tracer.span("store.get", "pipeline") as span:
+            if span.enabled and kind is not None:
+                span.add_args(kind=kind)
+            try:
+                if json_path.exists():
+                    document = json.loads(json_path.read_text())
+                    if document.get("schema") != self.schema_version:
+                        self.stats.misses += 1
+                        return STORE_MISS
+                    value = self._decode(document)
+                elif npz_path.exists():
+                    with np.load(npz_path, allow_pickle=False) as archive:
+                        value = archive["value"]
+                    value.flags.writeable = False
+                else:
                     self.stats.misses += 1
+                    if tracer.enabled:
+                        get_metrics().counter("store.misses").inc()
                     return STORE_MISS
-                value = self._decode(document)
-            elif npz_path.exists():
-                with np.load(npz_path, allow_pickle=False) as archive:
-                    value = archive["value"]
-                value.flags.writeable = False
-            else:
+            except Exception:
+                self.stats.errors += 1
                 self.stats.misses += 1
+                if tracer.enabled:
+                    get_metrics().counter("store.quarantined").inc()
+                    tracer.instant("store.quarantine", "pipeline", digest=digest[:12])
+                for path in (json_path, npz_path):  # quarantine: recompute rewrites it
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        pass
                 return STORE_MISS
-        except Exception:
-            self.stats.errors += 1
-            self.stats.misses += 1
-            for path in (json_path, npz_path):  # quarantine: recompute rewrites it
-                try:
-                    path.unlink(missing_ok=True)
-                except OSError:
-                    pass
-            return STORE_MISS
         self.stats.hits += 1
+        if tracer.enabled:
+            get_metrics().counter("store.hits").inc()
         if kind is not None:
             self.stats.hit_kinds.append(kind)
         return value

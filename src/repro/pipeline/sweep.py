@@ -47,7 +47,10 @@ from typing import Any, Callable
 import numpy as np
 from numpy.typing import NDArray
 
+from .. import obs
 from ..experiments.runner import ExperimentResult, atomic_write_text
+from ..obs import TraceEvent
+from ..obs.clock import wall_time
 from .context import SimulationContext, config_key
 from .registry import ExperimentSpec, get_experiment
 from .store import STORE_MISS, ArtifactStore
@@ -317,14 +320,22 @@ def _attach_shared_array(entry: dict[str, Any]) -> tuple[shared_memory.SharedMem
 
 
 def _process_worker_init(
-    spec_name: str, store_root: str | None, manifest: list[dict[str, Any]]
+    spec_name: str,
+    store_root: str | None,
+    manifest: list[dict[str, Any]],
+    obs_enabled: bool = False,
+    obs_wall: bool = False,
 ) -> None:
     """Initializer run once per worker process.
 
     Builds the worker's :class:`SimulationContext` (store-backed when the
     sweep has one) and seeds it with the parent's shared-memory arrays, so
     large artifacts cross the process boundary exactly once, zero-copy.
+    When the parent has observability enabled the worker mirrors it locally;
+    recorded events/metrics travel back over the existing result channel.
     """
+    if obs_enabled:
+        obs.enable(wall_clock=obs_wall)
     store = ArtifactStore(store_root) if store_root else None
     context = SimulationContext(store=store)
     segments = []
@@ -337,16 +348,31 @@ def _process_worker_init(
     _WORKER_STATE["segments"] = segments
 
 
+#: Observability payload shipped from a worker: (trace events, metrics snapshot).
+_ObsPayload = tuple[list[TraceEvent], dict[str, dict[str, object]]]
+
+
 def _process_worker_run(
     payload: tuple[int, dict[str, Any]],
-) -> tuple[int, dict[str, Any] | None, str | None]:
+) -> tuple[int, dict[str, Any] | None, str | None, _ObsPayload | None]:
     """Evaluate one cell in a worker; results travel back as plain dicts."""
     index, params = payload
+    tracer = obs.get_tracer()
     try:
-        result = _WORKER_STATE["spec"].run(_WORKER_STATE["context"], **params)
-        return index, result.to_dict(), None
+        with tracer.span("sweep.cell", "pipeline") as span:
+            if span.enabled:
+                span.add_args(index=index)
+            result = _WORKER_STATE["spec"].run(_WORKER_STATE["context"], **params)
+        return index, result.to_dict(), None, _drain_worker_obs()
     except Exception as exc:
-        return index, None, _format_cell_error(exc)
+        return index, None, _format_cell_error(exc), _drain_worker_obs()
+
+
+def _drain_worker_obs() -> _ObsPayload | None:
+    tracer = obs.get_tracer()
+    if not tracer.enabled:
+        return None
+    return tracer.drain(), obs.drain_metrics()
 
 
 def _export_shared_arrays(
@@ -431,12 +457,15 @@ class ProcessSweepExecutor(SweepExecutor):
         )
         store_root = str(store.root) if store is not None else None
         mp_context = multiprocessing.get_context(self.start_method)
+        tracer = obs.get_tracer()
+        num_workers = min(self.workers, len(pending))
+        pool_started = wall_time() if tracer.enabled else 0.0
         try:
             with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending)),
+                max_workers=num_workers,
                 mp_context=mp_context,
                 initializer=_process_worker_init,
-                initargs=(spec.name, store_root, manifest),
+                initargs=(spec.name, store_root, manifest, tracer.enabled, tracer.wall_clock),
             ) as pool:
                 outcomes = list(
                     pool.map(_process_worker_run, [(c.index, c.params) for c in pending])
@@ -449,12 +478,29 @@ class ProcessSweepExecutor(SweepExecutor):
                 except FileNotFoundError:
                     pass
         by_index = {cell.index: cell for cell in pending}
-        for index, payload, error in outcomes:
+        worker_events: list[TraceEvent] = []
+        for index, payload, error, obs_payload in outcomes:
             cell = by_index[index]
             if error is not None:
                 cell.error = error
             else:
                 cell.result = ExperimentResult.from_dict(payload)
+            if obs_payload is not None:
+                events, metrics_snapshot = obs_payload
+                worker_events.extend(events)
+                obs.get_metrics().merge(metrics_snapshot)
+        if tracer.enabled:
+            tracer.ingest(worker_events)
+            pool_elapsed = wall_time() - pool_started
+            busy_us = sum(
+                event.wall_dur_us or 0.0
+                for event in worker_events
+                if event.name == "sweep.cell"
+            )
+            if pool_elapsed > 0 and num_workers:
+                obs.get_metrics().gauge("sweep.worker_utilization").set(
+                    busy_us / (pool_elapsed * 1e6 * num_workers)
+                )
 
 
 def resolve_executor(executor: SweepExecutor | str | None, workers: int) -> SweepExecutor:
@@ -558,13 +604,29 @@ def sweep(
                 cell.resumed = True
 
     def evaluate(cell: SweepCell) -> None:
-        try:
-            cell.result = spec.run(ctx, **cell.params)
-        except Exception as exc:
-            cell.error = _format_cell_error(exc)
+        with obs.get_tracer().span("sweep.cell", "pipeline") as span:
+            if span.enabled:
+                span.add_args(index=cell.index)
+            try:
+                cell.result = spec.run(ctx, **cell.params)
+            except Exception as exc:
+                cell.error = _format_cell_error(exc)
+                if span.enabled:
+                    span.add_args(failed=True)
 
     pending = [cell for cell in cells if cell.result is None and cell.error is None]
+    if obs.get_tracer().enabled:
+        metrics = obs.get_metrics()
+        metrics.gauge("sweep.queue_depth").set(len(pending))
+        metrics.gauge("sweep.workers").set(workers)
+        metrics.counter("sweep.cells_resumed").inc(sum(1 for c in cells if c.resumed))
     executor_impl.run(spec, pending, ctx, evaluate, store=store)
+    if obs.get_tracer().enabled:
+        metrics = obs.get_metrics()
+        metrics.counter("sweep.cells_evaluated").inc(len(pending))
+        metrics.counter("sweep.cells_failed").inc(
+            sum(1 for c in pending if c.error is not None)
+        )
 
     if store is not None:
         for cell in cells:

@@ -172,9 +172,11 @@ def test_rpr004_fires_on_wall_clock_and_stray_timer():
 
 def test_rpr004_silent_in_timing_allowlist():
     timed = "import time\ndef f():\n    return time.perf_counter()\n"
-    assert lint_snippet(timed, rel="src/repro/pipeline/cli.py").ok
-    assert lint_snippet(timed, rel="src/repro/nerf/trainer.py").ok
+    assert lint_snippet(timed, rel="src/repro/obs/clock.py").ok
     assert lint_snippet(timed, rel="benchmarks/test_perf_example.py").ok
+    # Everything else — including the CLI, which used to be allowlisted —
+    # must route timing through repro.obs.clock.
+    assert rule_ids(lint_snippet(timed, rel="src/repro/pipeline/cli.py")) == ["RPR004"]
     # Formatting an explicit timestamp is not a wall-clock read.
     stamped = "import time\ndef f(mtime: float) -> str:\n    return time.ctime(mtime)\n"
     assert lint_snippet(stamped).ok
@@ -263,6 +265,31 @@ def test_rpr007_silent_outside_portable_modules():
     assert lint_snippet(code, rel="src/repro/workloads/steps.py").ok
 
 
+# ----------------------------------------------------------------- RPR008
+
+
+def test_rpr008_fires_on_adhoc_print_and_logging():
+    result = lint_snippet(
+        "import logging\n"
+        "def f(x):\n"
+        "    print('loss', x)\n"
+        "    logging.info('loss %s', x)\n"
+        "    return x\n",
+        rel="src/repro/dram/system.py",
+    )
+    assert rule_ids(result) == ["RPR008"] * 2
+
+
+def test_rpr008_silent_in_frontends_obs_and_outside_src():
+    noisy = "def f(x):\n    print(x)\n    return x\n"
+    assert lint_snippet(noisy, rel="src/repro/pipeline/cli.py").ok
+    assert lint_snippet(noisy, rel="src/repro/pipeline/bench.py").ok
+    assert lint_snippet(noisy, rel="src/repro/analysis/cli.py").ok
+    assert lint_snippet(noisy, rel="src/repro/obs/__init__.py").ok
+    assert lint_snippet(noisy, rel="benchmarks/test_perf_example.py").ok
+    assert lint_snippet(noisy, rel="tests/test_example.py").ok
+
+
 # ----------------------------------------------------------------- waivers
 
 
@@ -319,7 +346,16 @@ def test_repo_lints_clean():
 
 def test_every_rule_has_docs_and_both_fixtures_exist():
     ids = [rule.id for rule in RULES]
-    assert ids == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"]
+    assert ids == [
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+        "RPR007",
+        "RPR008",
+    ]
     for rule in RULES:
         assert rule.summary and rule.rationale
 

@@ -37,7 +37,14 @@ def _write(path, payload):
 
 # ----------------------------------------------------------------- suites
 def test_suite_registry_and_lookup():
-    assert [s.name for s in SUITES] == ["hotpaths", "mem", "pipeline", "occupancy", "precision"]
+    assert [s.name for s in SUITES] == [
+        "hotpaths",
+        "mem",
+        "pipeline",
+        "occupancy",
+        "precision",
+        "obs",
+    ]
     assert [s.name for s in get_suites(["mem", "occupancy"])] == ["mem", "occupancy"]
     with pytest.raises(KeyError, match="unknown benchmark suite"):
         get_suites(["nope"])
