@@ -54,6 +54,7 @@ from repro.experiments import (
     run_fig11,
     run_fig12,
     run_fig13,
+    run_fig15,
     run_tab01,
     run_tab02,
     run_tab03,
@@ -64,6 +65,7 @@ from repro.experiments.runner import atomic_write_text
 from repro.nerf.encoding import HashGridConfig
 from repro.pipeline import ArtifactStore, SimulationContext, run_suite, sweep
 from repro.pipeline.sweep import ProcessSweepExecutor
+from repro.workloads.embedding import EmbeddingTraceConfig
 from repro.workloads.traces import TraceConfig
 
 PERF_SMOKE = os.environ.get("PERF_SMOKE", "") == "1"
@@ -94,6 +96,9 @@ CACHE_KB = (16, 64)
 OCC_RESOLUTIONS = (16, 32)
 #: Smoke-scale Table V precision pair (fp32 trained + int8 PTQ'd from it).
 TAB05_DTYPES = ("fp32", "int8")
+#: Smoke-scale embedding front-end (Fig. 15): two small Zipfian tables.
+EMB_CONFIG = EmbeddingTraceConfig(num_tables=2, table_rows=2048, batch_size=64, pooling_factor=4)
+EMB_SUBARRAYS = (1, 4)
 OVERRIDES = {
     "fig07": {"rays": RAYS, "probe_samples": PROBES},
     "fig09": {
@@ -112,6 +117,14 @@ OVERRIDES = {
         "rays": RAYS,
         "probe_samples": PROBES,
         "resolutions": ",".join(map(str, OCC_RESOLUTIONS)),
+        "timing": "false",
+    },
+    "fig15_embedding_locality": {
+        "tables": EMB_CONFIG.num_tables,
+        "table_rows": EMB_CONFIG.table_rows,
+        "batch": EMB_CONFIG.batch_size,
+        "pooling": EMB_CONFIG.pooling_factor,
+        "subarrays": ",".join(map(str, EMB_SUBARRAYS)),
         "timing": "false",
     },
     "tab04": {
@@ -170,6 +183,7 @@ def _legacy_full() -> dict:
         OCC_RESOLUTIONS,
         timing=False,
     )
+    results["fig15_embedding_locality"] = run_fig15(EMB_CONFIG, EMB_SUBARRAYS, timing=False)
     return results
 
 
@@ -477,7 +491,9 @@ def test_warm_store_rerun_skips_all_simulation(tmp_path):
 
 
 @pytest.mark.parametrize(
-    "name", FAST_NAMES + ["tab04", "fig12_cache_hit_rate", "fig13_occupancy_traffic"]
+    "name",
+    FAST_NAMES
+    + ["tab04", "fig12_cache_hit_rate", "fig13_occupancy_traffic", "fig15_embedding_locality"],
 )
 def test_every_experiment_runs_through_the_registry(name):
     """`python -m repro run <spec>` works for each registered experiment."""

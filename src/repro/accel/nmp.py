@@ -35,6 +35,7 @@ from .microarch import BankMicroarchitecture
 
 if TYPE_CHECKING:  # imported lazily at runtime (repro.mem depends on accel)
     from ..mem.hierarchy import HierarchyStats
+    from ..streams.ir import RequestStream
 
 __all__ = ["AlgorithmLocality", "NMPConfig", "StepCost", "IterationCost", "NMPAccelerator"]
 
@@ -79,6 +80,33 @@ class AlgorithmLocality:
         """Defaults for the original iNGP hash with random point order."""
         return cls(
             row_requests_per_cube=4.02, cube_sharing_run_length=1.05, bank_conflict_stall_factor=1.6
+        )
+
+    @classmethod
+    def from_request_stream(
+        cls,
+        stream: "RequestStream",
+        row_bytes: int = 1024,
+        bank_conflict_stall_factor: float = 1.0,
+    ) -> "AlgorithmLocality":
+        """Locality factors measured from an actual :class:`RequestStream`.
+
+        Replaces the paper's hand-measured constants with the IR's own
+        accounting: row requests per charged point from the row-request
+        kernel, sharing run length from the stream's reuse groups.  The
+        residual ``bank_conflict_stall_factor`` still has to come from the
+        mapping analysis (it depends on the bank layout, not the stream).
+        """
+        from ..core.streaming import row_requests_for_stream, stream_sharing_run_length
+
+        if stream.num_points == 0:
+            raise ValueError("cannot measure locality factors from an empty stream")
+        charged = int(stream.run_starts().sum())
+        requests = row_requests_for_stream(stream, row_bytes=row_bytes)
+        return cls(
+            row_requests_per_cube=max(requests / charged, 1e-9),
+            cube_sharing_run_length=max(stream_sharing_run_length(stream), 1.0),
+            bank_conflict_stall_factor=bank_conflict_stall_factor,
         )
 
 

@@ -16,6 +16,7 @@ field annotations, and requires everything reachable to be ``frozen=True``.
 | RPR006 | registered experiments reuse context artifacts, never recompute  |
 | RPR007 | backend-portable kernels call ``repro.core.xp``, not numpy       |
 | RPR008 | no ad-hoc print/logging in ``src/repro``; emit via ``repro.obs`` |
+| RPR009 | memory-system consumers take ``RequestStream``s, not inline arrays|
 """
 
 from __future__ import annotations
@@ -90,6 +91,14 @@ RULES: tuple[Rule, ...] = (
         "observability layer (and can interleave nondeterministically under "
         "the sweep executors); emit through repro.obs spans/metrics/console, "
         "or from the allowlisted CLI front-ends",
+    ),
+    Rule(
+        "RPR009",
+        "no inline raw address arrays at the memory-system boundary",
+        "an address ndarray built at a filter_stream/service_batch call site "
+        "bypasses the typed request-stream IR (and its provenance, dtype and "
+        "grouping); construct a RequestStream in a repro.streams front-end "
+        "and pass that instead",
     ),
 )
 
@@ -196,6 +205,26 @@ _CONTEXT_EQUIVALENTS: dict[str, str] = {
     "occupancy_grid_for_trace": "context.occupancy_grid(trace)",
     "occupancy_point_mask": "context.occupancy_mask(trace)",
 }
+
+#: The IR package and the memory-system backends it feeds are the only
+#: layers allowed to handle raw address ndarrays at the stream boundary;
+#: every other caller crosses it with a typed ``RequestStream``.
+STREAM_BOUNDARY_EXEMPT_DIRS = (
+    "src/repro/streams/",
+    "src/repro/mem/",
+    "src/repro/dram/",
+)
+
+#: Memory-system entry points that accept request streams (the deprecated
+#: ndarray signatures still work, but only for values produced elsewhere —
+#: never for arrays assembled at the call site).
+_STREAM_CONSUMERS = frozenset(
+    {"filter_stream", "filter_stream_reference", "service_batch", "service_addresses"}
+)
+
+#: Legacy address-trace producers: feeding their output straight into a
+#: stream consumer sidesteps the IR even though no array literal is visible.
+_RAW_ADDRESS_PRODUCERS = frozenset({"lookup_addresses", "addresses_for_level", "full_trace"})
 
 #: Modules ported to the ``repro.core.xp`` array-backend shim: their batch
 #: compute must stay backend-portable (the ``*_reference`` oracles inside
@@ -422,6 +451,7 @@ def run_file_rules(file: FileSource, index: ProjectIndex) -> Iterator[Finding]:
     yield from _rule_rpr006(file, resolver, index)
     yield from _rule_rpr007(file, resolver)
     yield from _rule_rpr008(file, resolver)
+    yield from _rule_rpr009(file, resolver)
 
 
 def _rule_rpr001(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
@@ -701,6 +731,55 @@ def _rule_rpr008(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
                 f"ad-hoc {dotted}() inside the simulation stack; record "
                 "measurements through repro.obs spans/metrics instead of a "
                 "logging side channel",
+            )
+
+
+def _raw_address_expr(node: ast.expr, resolver: NameResolver) -> str | None:
+    """Why ``node`` is a raw address array assembled at the call site, if it is.
+
+    Names, attribute reads and method calls on existing objects pass — the
+    rule polices *construction* at the boundary, not plumbing of values
+    produced by the IR or the front-ends.
+    """
+    if isinstance(node, ast.BinOp):
+        return "an arithmetic address expression"
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return "an inline array literal"
+    if isinstance(node, ast.Call):
+        dotted = resolver.resolve(node.func)
+        if dotted is not None and dotted.startswith("numpy."):
+            return f"a {dotted}() array constructed inline"
+        name = node.func.attr if isinstance(node.func, ast.Attribute) else dotted
+        if name in _RAW_ADDRESS_PRODUCERS:
+            return f"the raw address trace of {name}()"
+    return None
+
+
+def _rule_rpr009(file: FileSource, resolver: NameResolver) -> Iterator[Finding]:
+    """Stream consumers take ``RequestStream``s, not call-site address arrays."""
+    if any(file.rel.startswith(prefix) for prefix in STREAM_BOUNDARY_EXEMPT_DIRS):
+        return
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in _STREAM_CONSUMERS:
+            continue
+        first: ast.expr | None = node.args[0] if node.args else None
+        if first is None:
+            for kw in node.keywords:
+                if kw.arg == "stream":
+                    first = kw.value
+        if first is None:
+            continue
+        reason = _raw_address_expr(first, resolver)
+        if reason is not None:
+            yield _finding(
+                file,
+                node,
+                "RPR009",
+                f"{reason} passed straight to {node.func.attr}() bypasses the "
+                "typed request-stream IR; build a repro.streams.RequestStream "
+                "(front-end or FilteredStream producer) and pass that",
             )
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from ..nerf.encoding import HashGridConfig
+from ..streams.ir import TableLayout
 
 __all__ = [
     "IntraLevelPolicy",
@@ -112,9 +113,11 @@ class HashTableMapper:
 
     def __init__(
         self,
-        grid_config: HashGridConfig | None = None,
+        grid_config: TableLayout | None = None,
         mapping: HashTableMappingConfig | None = None,
     ):
+        # Any TableLayout works: the mapper only reads num_levels and
+        # level_table_entries, so embedding-table banks map like grid levels.
         self.grid = grid_config or HashGridConfig()
         self.config = mapping or HashTableMappingConfig()
         self.config.validate()

@@ -32,6 +32,7 @@ __all__ = [
     "compute_dtype",
     "dequantize_int8",
     "dtype_bytes",
+    "entry_bytes",
     "quantize_int8",
     "storage_dtype",
     "validate_precision",
@@ -74,6 +75,20 @@ def validate_precision(name: str, allowed: tuple[str, ...] = PRECISIONS) -> str:
 def dtype_bytes(name: str) -> int:
     """Bytes per stored scalar of a named precision."""
     return _DTYPE_BYTES[validate_precision(name)]
+
+
+def entry_bytes(name: str, features_per_entry: int = 1) -> int:
+    """Bytes of one table entry: ``features_per_entry`` scalars at ``name`` width.
+
+    The single home of the dtype -> entry-width rule every table-shaped
+    config (hash-grid entries, trace entries, embedding rows) derives its
+    ``entry_bytes`` from.  Sub-byte products (e.g. a single int8 feature
+    packed below one byte by a hypothetical narrower dtype) clamp to 1 byte,
+    the smallest addressable unit of the modeled memory system.
+    """
+    if features_per_entry <= 0:
+        raise ValueError(f"features_per_entry must be positive, got {features_per_entry}")
+    return max(1, features_per_entry * dtype_bytes(name))
 
 
 def storage_dtype(name: str) -> Any:

@@ -15,6 +15,7 @@ Fig. 7(a) and the effective-memory-bandwidth model of Fig. 7(b).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 
@@ -24,16 +25,21 @@ import numpy as np
 from numpy.typing import NDArray
 
 from ..nerf.encoding import HashGridConfig
+from ..streams.ir import RequestStream
 from .hashing import HashFunction
 
 __all__ = [
     "StreamingOrder",
     "point_order",
+    "cube_ids",
     "points_sharing_same_cube",
     "register_hit_rate",
     "memory_requests_for_stream",
     "memory_requests_for_stream_reference",
     "row_requests_from_corner_indices",
+    "row_requests_for_stream",
+    "stream_sharing_run_length",
+    "stream_register_hit_rate",
     "effective_bandwidth_improvement",
     "LocalityReport",
 ]
@@ -68,8 +74,13 @@ def point_order(
     return rng.permutation(total).astype(np.int64)
 
 
-def _cube_ids(points: NDArray[Any], resolution: int) -> NDArray[Any]:
-    """Integer id of the cube containing each point at a given resolution."""
+def cube_ids(points: NDArray[Any], resolution: int) -> NDArray[Any]:
+    """Integer id of the cube containing each point at a given resolution.
+
+    This is the NeRF front-end's reuse-group id: consecutive points with the
+    same cube id gather identical corner entries, which is exactly what the
+    IR's ``group_ids`` field carries downstream.
+    """
     pts = np.clip(np.asarray(points, dtype=np.float64).reshape(-1, 3), 0.0, 1.0)
     base = np.clip(np.floor(pts * resolution).astype(np.int64), 0, resolution - 1)
     return base[:, 0] + resolution * (base[:, 1] + resolution * base[:, 2])
@@ -84,14 +95,14 @@ def points_sharing_same_cube(
     dozen or more consecutive points share one cube; after a random shuffle
     the average run length collapses towards 1.
     """
-    cube_ids = _cube_ids(points, resolution)
+    ids = cube_ids(points, resolution)
     if order is not None:
-        cube_ids = cube_ids[order]
-    if cube_ids.size == 0:
+        ids = ids[order]
+    if ids.size == 0:
         return 0.0
-    change = np.nonzero(np.diff(cube_ids) != 0)[0]
+    change = np.nonzero(np.diff(ids) != 0)[0]
     num_runs = change.size + 1
-    return float(cube_ids.size / num_runs)
+    return float(ids.size / num_runs)
 
 
 def register_hit_rate(
@@ -102,13 +113,13 @@ def register_hit_rate(
     A point "hits" when the previous streamed point used the same cube, so
     its eight embeddings need no new memory request.
     """
-    cube_ids = _cube_ids(points, resolution)
+    ids = cube_ids(points, resolution)
     if order is not None:
-        cube_ids = cube_ids[order]
-    if cube_ids.size <= 1:
+        ids = ids[order]
+    if ids.size <= 1:
         return 0.0
-    hits = np.sum(np.diff(cube_ids) == 0)
-    return float(hits / (cube_ids.size - 1))
+    hits = np.sum(np.diff(ids) == 0)
+    return float(hits / (ids.size - 1))
 
 
 def _stream_bases_and_cubes(
@@ -188,24 +199,69 @@ def memory_requests_for_stream(
 
 
 def _count_row_requests(rows: NDArray[Any]) -> int:
-    """Row requests for a stream of per-point row ids ``(M, 8)`` (run starts only)."""
+    """Row requests for a stream of per-point row ids ``(M, P)`` (run starts only)."""
     if rows.size == 0:
         return 0
-    kept = np.sort(rows, axis=1)  # (M, 8), sorted per point
-    # First occurrence of each distinct row within a point's 8 lookups.
+    kept = np.sort(rows, axis=1)  # (M, P), sorted per point
+    # First occurrence of each distinct row within a point's P lookups.
     first = np.ones(kept.shape, dtype=bool)
     first[:, 1:] = np.diff(kept, axis=1) != 0
     requests = int(first[0].sum())
     if kept.shape[0] > 1:
-        # Rows of point i already held from point i-1: an 8-way membership
-        # test, accumulated one previous-corner column at a time to avoid
-        # materializing the full (M, 8, 8) comparison cube.
+        # Rows of point i already held from point i-1: a P-way membership
+        # test, accumulated one previous-access column at a time to avoid
+        # materializing the full (M, P, P) comparison cube.
         cur, prev = kept[1:], kept[:-1]
         held = cur == prev[:, :1]
-        for k in range(1, 8):
+        for k in range(1, kept.shape[1]):
             held |= cur == prev[:, k : k + 1]
         requests += int((first[1:] & ~held).sum())
     return requests
+
+
+def row_requests_for_stream(stream: RequestStream, row_bytes: int = 1024) -> int:
+    """DRAM row requests needed to service a :class:`RequestStream`.
+
+    The IR-native form of the row-request accounting shared by every
+    front-end: only the reuse-group run starts of the stream are charged
+    (the single-point register window — the rest gather from registers),
+    and a charged point costs the number of distinct rows it touches that
+    the previous charged point did not.  Row ids come from the stream's own
+    ``entry_bytes``, so precision flows into row granularity automatically.
+    """
+    if stream.num_points == 0:
+        return 0
+    kept = stream.indices[stream.run_starts()]
+    entries_per_row = max(1, row_bytes // stream.entry_bytes)
+    if entries_per_row & (entries_per_row - 1) == 0:
+        rows = kept >> (int(entries_per_row).bit_length() - 1)
+    else:
+        rows = kept // entries_per_row
+    return _count_row_requests(rows)
+
+
+def stream_sharing_run_length(stream: RequestStream) -> float:
+    """Average run length of consecutive points in the same reuse group.
+
+    The IR form of :func:`points_sharing_same_cube`: identical on the NeRF
+    front-end (where ``group_ids`` are cube ids) and meaningful for any
+    other front-end that marks reuse groups.
+    """
+    if stream.num_points == 0:
+        return 0.0
+    return float(stream.num_points / int(stream.run_starts().sum()))
+
+
+def stream_register_hit_rate(stream: RequestStream) -> float:
+    """Fraction of points whose entries are already in local registers.
+
+    The IR form of :func:`register_hit_rate`: a point hits when it belongs
+    to the same reuse group as the previous streamed point.
+    """
+    if stream.num_points <= 1:
+        return 0.0
+    hits = stream.num_points - int(stream.run_starts().sum())
+    return float(hits / (stream.num_points - 1))
 
 
 def row_requests_from_corner_indices(
@@ -217,34 +273,40 @@ def row_requests_from_corner_indices(
     row_bytes: int = 1024,
     entry_bytes: int = 4,
 ) -> int:
-    """:func:`memory_requests_for_stream` from precomputed corner indices.
+    """Deprecated ndarray shim for :func:`row_requests_for_stream`.
 
     ``corner_indices`` is the ``(N, 8)`` table-index array of
     :func:`repro.workloads.traces.level_lookup_indices` for the *unpermuted*
     ray-major point layout; ``order`` permutes points exactly as in
-    :func:`memory_requests_for_stream`.  Returns the identical request count
-    without re-hashing — the pipeline's :class:`SimulationContext` uses this
-    to reuse the lookup streams the bank-conflict experiment already built.
+    :func:`memory_requests_for_stream`.  Build a :class:`RequestStream`
+    (``group_ids`` = cube ids in stream order) and call
+    :func:`row_requests_for_stream` instead; this wrapper does exactly that
+    and will be removed after one release.
     """
-    _, cube_ids = _stream_bases_and_cubes(points, level, grid_config, order)
+    warnings.warn(
+        "row_requests_from_corner_indices() is deprecated; build a "
+        "repro.streams.RequestStream (group_ids = cube ids) and call "
+        "row_requests_for_stream() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _, ids = _stream_bases_and_cubes(points, level, grid_config, order)
     indices = np.asarray(corner_indices)
-    if indices.ndim != 2 or indices.shape[1] != 8 or indices.shape[0] != cube_ids.size:
+    if indices.ndim != 2 or indices.shape[1] != 8 or indices.shape[0] != ids.size:
         raise ValueError(
-            f"corner_indices must have shape ({cube_ids.size}, 8), got {indices.shape}"
+            f"corner_indices must have shape ({ids.size}, 8), got {indices.shape}"
         )
     if order is not None:
         indices = indices[order]
-    if cube_ids.size == 0:
-        return 0
-    keep = np.ones(cube_ids.size, dtype=bool)
-    keep[1:] = np.diff(cube_ids) != 0
-    entries_per_row = max(1, row_bytes // entry_bytes)
-    kept_indices = indices[keep]
-    if entries_per_row & (entries_per_row - 1) == 0:
-        rows = kept_indices >> (int(entries_per_row).bit_length() - 1)
-    else:
-        rows = kept_indices // entries_per_row
-    return _count_row_requests(rows)
+    stream = RequestStream(
+        indices=indices,
+        entry_bytes=entry_bytes,
+        table_entries=grid_config.level_table_entries(level),
+        group_ids=ids,
+        source="core.streaming",
+        label=f"level={level}",
+    )
+    return row_requests_for_stream(stream, row_bytes=row_bytes)
 
 
 def memory_requests_for_stream_reference(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs import get_metrics, get_tracer
+from ..streams.ir import RequestStream
 from .controller import ChannelController
 from .energy import DRAMEnergyModel, EnergyBreakdown
 from .spec import DRAMSpec, LPDDR4_2400
@@ -105,9 +106,9 @@ class DRAMSystem:
 
     def service_addresses(
         self,
-        addresses: np.ndarray,
-        request_type: RequestType = RequestType.READ,
-        size_bytes: int = 32,
+        addresses: np.ndarray | RequestStream,
+        request_type: RequestType | None = None,
+        size_bytes: int | None = None,
         near_bank: bool = False,
     ) -> TraceResult:
         """Convenience wrapper building a back-pressured trace from addresses."""
@@ -117,20 +118,37 @@ class DRAMSystem:
 
     def service_batch(
         self,
-        addresses: np.ndarray,
-        request_type: RequestType = RequestType.READ,
-        size_bytes: int = 32,
+        stream: np.ndarray | RequestStream,
+        request_type: RequestType | None = None,
+        size_bytes: int | None = None,
         near_bank: bool = False,
     ) -> TraceResult:
-        """Service a flat back-pressured address array without building request objects.
+        """Service one back-pressured request stream without building request objects.
 
-        All addresses are routed to channels with a single
+        ``stream`` is a :class:`repro.streams.RequestStream` — its addresses
+        are wrapped into the modeled capacity, its kind picks the request
+        direction and its ``entry_bytes`` the burst size, with the keyword
+        arguments as explicit overrides — or a flat byte-address ndarray (the
+        low-level backend form, defaulting to 32-byte reads).  All addresses
+        are routed to channels with a single
         :meth:`AddressMapper.decode_array` call and each channel decodes its
         share once more in :meth:`ChannelController.service_batch` — the
         per-request 6-array decode of the object-based path is gone entirely.
         Produces the same :class:`TraceResult` as :meth:`service_requests` on
         the equivalent trace.
         """
+        if isinstance(stream, RequestStream):
+            if request_type is None:
+                request_type = RequestType.WRITE if stream.writes else RequestType.READ
+            if size_bytes is None:
+                size_bytes = stream.entry_bytes
+            addresses = stream.addresses % self.spec.organization.total_capacity_bytes
+        else:
+            if request_type is None:
+                request_type = RequestType.READ
+            if size_bytes is None:
+                size_bytes = 32
+            addresses = stream
         with get_tracer().span("dram.service_batch", "dram") as span:
             self.reset()
             org = self.spec.organization

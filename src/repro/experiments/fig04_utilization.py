@@ -6,7 +6,7 @@ from ..gpu.specs import ALL_GPUS, XNX, GPUSpec
 from ..pipeline.context import SimulationContext
 from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.steps import StepName
-from .runner import ExperimentResult
+from .runner import ExperimentResult, legacy_entry_point
 
 __all__ = ["run_fig04", "PROFILED_STEPS"]
 
@@ -21,6 +21,7 @@ PROFILED_STEPS = (
 )
 
 
+@legacy_entry_point("fig04")
 def run_fig04(
     gpu: GPUSpec = XNX, *, context: SimulationContext | None = None
 ) -> ExperimentResult:
@@ -69,4 +70,4 @@ def run_fig04(
     consumes=("gpu_profiles",),
 )
 def fig04_experiment(ctx: SimulationContext, *, gpu: str) -> ExperimentResult:
-    return run_fig04(ctx.gpu(gpu), context=ctx)
+    return run_fig04.__wrapped__(ctx.gpu(gpu), context=ctx)

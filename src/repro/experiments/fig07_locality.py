@@ -7,7 +7,7 @@ from ..nerf.encoding import HashGridConfig
 from ..pipeline.context import SimulationContext
 from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.traces import TraceConfig
-from .runner import ExperimentResult
+from .runner import ExperimentResult, legacy_entry_point
 
 __all__ = ["run_fig07"]
 
@@ -16,6 +16,7 @@ PAPER_IMPROVEMENT_MIN = 3.27
 PAPER_IMPROVEMENT_MAX = 35.9
 
 
+@legacy_entry_point("fig07")
 def run_fig07(
     grid_config: HashGridConfig | None = None,
     trace_config: TraceConfig | None = None,
@@ -106,7 +107,7 @@ def fig07_experiment(
         probe_samples=probe_samples,
     )
     row_bytes = ctx.dram_spec(dram).organization.row_buffer_bytes
-    return run_fig07(
+    return run_fig07.__wrapped__(
         grid,
         trace,
         context=ctx,

@@ -4,15 +4,17 @@ from __future__ import annotations
 
 from ..core.hashing import HashFunction, MortonLocalityHash, get_hash_function
 from ..core.mapping import HashTableMapper, HashTableMappingConfig, IntraLevelPolicy
+from ..core.streaming import StreamingOrder
 from ..nerf.encoding import HashGridConfig
 from ..pipeline.context import SimulationContext
 from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.traces import TraceConfig
-from .runner import ExperimentResult
+from .runner import ExperimentResult, legacy_entry_point
 
 __all__ = ["run_fig09"]
 
 
+@legacy_entry_point("fig09")
 def run_fig09(
     subarray_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
     grid_config: HashGridConfig | None = None,
@@ -39,7 +41,8 @@ def run_fig09(
     rows = []
     reference_conflicts = None
     for level in range(grid.num_levels):
-        indices = ctx.level_indices(grid, trace, hash_fn, level).ravel()
+        stream = ctx.request_stream(grid, trace, hash_fn, StreamingOrder.RAY_FIRST, level)
+        indices = stream.indices.ravel()
         row: dict = {"level": level, "resolution": grid.resolutions[level]}
         for subarrays in subarray_counts:
             mapper = HashTableMapper(
@@ -88,7 +91,7 @@ def run_fig09(
         ParamSpec("probe_samples", int, 24, help="density probes per ray for scene traces"),
         ParamSpec("parallel_points", int, 32, help="points issued in parallel"),
     ),
-    provides=("level_indices",),
+    provides=("level_indices", "request_stream"),
 )
 def fig09_experiment(
     ctx: SimulationContext,
@@ -114,7 +117,7 @@ def fig09_experiment(
         scene=scene or None,
         probe_samples=probe_samples,
     )
-    return run_fig09(
+    return run_fig09.__wrapped__(
         counts,
         grid,
         trace,

@@ -19,11 +19,12 @@ from ..nerf.encoding import HashGridConfig
 from ..pipeline.context import SimulationContext
 from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.traces import TraceConfig
-from .runner import ExperimentResult
+from .runner import ExperimentResult, legacy_entry_point
 
 __all__ = ["run_fig12"]
 
 
+@legacy_entry_point("fig12_cache_hit_rate")
 def run_fig12(
     grid_config: HashGridConfig | None = None,
     trace_config: TraceConfig | None = None,
@@ -166,7 +167,7 @@ def run_fig12(
     ),
     tags=("memory", "extension"),
     provides=("filtered_stream",),
-    consumes=("level_indices",),
+    consumes=("level_indices", "request_stream"),
 )
 def fig12_experiment(
     ctx: SimulationContext,
@@ -199,7 +200,7 @@ def fig12_experiment(
         scene=scene or None,
         probe_samples=probe_samples,
     )
-    return run_fig12(
+    return run_fig12.__wrapped__(
         grid,
         trace,
         sizes,

@@ -24,11 +24,12 @@ from ..pipeline.context import SimulationContext
 from ..pipeline.registry import ParamSpec, register_experiment
 from ..workloads.steps import INGPWorkloadModel
 from ..workloads.traces import TraceConfig
-from .runner import ExperimentResult
+from .runner import ExperimentResult, legacy_entry_point
 
 __all__ = ["run_fig13"]
 
 
+@legacy_entry_point("fig13_occupancy_traffic")
 def run_fig13(
     grid_config: HashGridConfig | None = None,
     trace_config: TraceConfig | None = None,
@@ -193,7 +194,7 @@ def fig13_experiment(
         probe_samples=probe_samples,
         occupancy_threshold=threshold,
     )
-    return run_fig13(
+    return run_fig13.__wrapped__(
         grid,
         trace,
         sizes,

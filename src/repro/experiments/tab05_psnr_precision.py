@@ -30,7 +30,7 @@ from ..pipeline.context import SimulationContext
 from ..pipeline.registry import ParamSpec, register_experiment
 from ..scenes.dataset import DatasetConfig
 from ..scenes.library import SCENE_NAMES
-from .runner import ExperimentResult
+from .runner import ExperimentResult, legacy_entry_point
 
 __all__ = ["run_tab05", "PrecisionRunConfig", "train_precision_on_scene"]
 
@@ -122,6 +122,7 @@ def train_precision_on_scene(
     return float(trainer.evaluate())
 
 
+@legacy_entry_point("tab05_psnr_precision")
 def run_tab05(
     config: PrecisionRunConfig | None = None,
     *,
@@ -262,4 +263,4 @@ def tab05_experiment(
         hash=hash,
         dram=dram,
     )
-    return run_tab05(config, context=ctx)
+    return run_tab05.__wrapped__(config, context=ctx)

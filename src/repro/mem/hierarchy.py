@@ -25,6 +25,7 @@ two are exactly equivalent on any input stream.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from typing import Any
@@ -34,6 +35,7 @@ from numpy.typing import NDArray
 
 from ..accel.scratchpad import Scratchpad
 from ..obs import get_metrics, get_tracer
+from ..streams.ir import RequestStream, StreamKind
 from .cache import (
     MISS,
     PREFETCH_FILL,
@@ -186,6 +188,25 @@ class FilteredStream:
         """Byte addresses of the lines that must actually be fetched."""
         return self.dram_lines * self.line_bytes
 
+    def _line_stream(self, lines: NDArray[Any], label: str) -> RequestStream:
+        table_entries = int(lines.max()) + 1 if lines.size else 1
+        return RequestStream(
+            indices=np.asarray(lines, dtype=np.int64).reshape(-1, 1),
+            entry_bytes=self.line_bytes,
+            table_entries=table_entries,
+            kind=StreamKind.READ,
+            source="mem.hierarchy",
+            label=label,
+        )
+
+    def demand_stream(self) -> RequestStream:
+        """The uncached-baseline line traffic as a line-read :class:`RequestStream`."""
+        return self._line_stream(self.demand_lines, "demand")
+
+    def dram_stream(self) -> RequestStream:
+        """The surviving DRAM line fetches as a line-read :class:`RequestStream`."""
+        return self._line_stream(self.dram_lines, "dram")
+
 
 class CacheHierarchy:
     """Scratchpad (L0) + SRAM cache (L1) + prefetcher in front of DRAM."""
@@ -252,23 +273,65 @@ class CacheHierarchy:
             stats=stats,
         )
 
+    def _resolve_stream(
+        self,
+        stream: RequestStream | NDArray[Any],
+        accesses_per_point: int | None,
+        writes: bool | None,
+        entry_bytes: int | None,
+        warn: bool,
+    ) -> tuple[NDArray[Any], int, bool, int]:
+        """Common argument resolution for the IR and legacy-ndarray forms.
+
+        A :class:`RequestStream` carries its own shape, direction and entry
+        width; explicit keyword arguments override them.  A bare ndarray
+        falls back to the historical defaults (8 lookups per point, reads,
+        4-byte entries) and — on the public entry point — is deprecated.
+        """
+        if isinstance(stream, RequestStream):
+            return (
+                stream.addresses,
+                stream.accesses_per_point if accesses_per_point is None else accesses_per_point,
+                stream.writes if writes is None else writes,
+                stream.entry_bytes if entry_bytes is None else entry_bytes,
+            )
+        if warn:
+            warnings.warn(
+                "passing a bare address ndarray to CacheHierarchy.filter_stream() "
+                "is deprecated; pass a repro.streams.RequestStream instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return (
+            np.asarray(stream),
+            8 if accesses_per_point is None else accesses_per_point,
+            False if writes is None else writes,
+            4 if entry_bytes is None else entry_bytes,
+        )
+
     def filter_stream(
         self,
-        addresses: NDArray[Any],
-        accesses_per_point: int = 8,
-        writes: bool = False,
-        entry_bytes: int = 4,
+        stream: RequestStream | NDArray[Any],
+        accesses_per_point: int | None = None,
+        writes: bool | None = None,
+        entry_bytes: int | None = None,
     ) -> FilteredStream:
-        """Push a lookup byte-address stream through L0 + prefetcher + L1.
+        """Push one request stream through L0 + prefetcher + L1.
 
-        ``addresses`` is the flat stream of ``accesses_per_point`` lookups
-        per point (the layout of
-        :func:`repro.workloads.traces.lookup_addresses`); ``writes`` models
-        the gradient-scatter direction (every demand access writes its
-        line); ``entry_bytes`` only scales the scratchpad read energy.
-        Returns the :class:`FilteredStream` whose ``dram_addresses`` are the
-        only requests the DRAM system still has to service.
+        ``stream`` is a :class:`repro.streams.RequestStream` — its point
+        shape, access kind (``writes`` models the gradient-scatter
+        direction: every demand access writes its line) and ``entry_bytes``
+        (which only scales the scratchpad read energy) all come from the IR,
+        with the keyword arguments as explicit overrides.  A flat byte
+        address ndarray (the layout of
+        :func:`repro.workloads.traces.lookup_addresses`) is still accepted
+        as a deprecated shim for one release.  Returns the
+        :class:`FilteredStream` whose ``dram_stream()`` is the only traffic
+        the DRAM system still has to service.
         """
+        addresses, accesses_per_point, writes, entry_bytes = self._resolve_stream(
+            stream, accesses_per_point, writes, entry_bytes, warn=True
+        )
         with get_tracer().span("mem.filter_stream", "mem") as span:
             lines = self._prepare(addresses, accesses_per_point)
             emit = scratchpad_filter(lines, self.capacity_lines)
@@ -294,12 +357,15 @@ class CacheHierarchy:
 
     def filter_stream_reference(
         self,
-        addresses: NDArray[Any],
-        accesses_per_point: int = 8,
-        writes: bool = False,
-        entry_bytes: int = 4,
+        stream: RequestStream | NDArray[Any],
+        accesses_per_point: int | None = None,
+        writes: bool | None = None,
+        entry_bytes: int | None = None,
     ) -> FilteredStream:
         """Per-access oracle composition for :meth:`filter_stream`."""
+        addresses, accesses_per_point, writes, entry_bytes = self._resolve_stream(
+            stream, accesses_per_point, writes, entry_bytes, warn=False
+        )
         lines = self._prepare(addresses, accesses_per_point)
         emit = scratchpad_filter_reference(lines, self.capacity_lines)
         demand = lines[emit]

@@ -86,7 +86,7 @@ class HashGridConfig:
     @property
     def entry_bytes(self) -> int:
         """Bytes of one table entry (``F`` features at this precision)."""
-        return max(1, self.features_per_entry * precision.dtype_bytes(self.dtype))
+        return precision.entry_bytes(self.dtype, self.features_per_entry)
 
     def level_table_entries(self, level: int) -> int:
         """Actual number of table entries used by a level.

@@ -35,12 +35,14 @@ from ..core.hashing import HashFunction, average_row_requests_per_cube
 from ..core.streaming import (
     StreamingOrder,
     LocalityReport,
+    cube_ids,
     memory_requests_for_stream,
     point_order,
     points_sharing_same_cube,
     register_hit_rate,
-    row_requests_from_corner_indices,
+    row_requests_for_stream,
 )
+from ..streams.ir import RequestStream, table_base_address
 from ..dram.spec import DRAMSpec, get_dram_spec
 from ..obs import get_metrics, get_tracer
 from ..gpu.profiler import GPUProfiler
@@ -67,6 +69,7 @@ if TYPE_CHECKING:
     from ..gpu.profiler import KernelProfile, SceneProfile
     from ..mem.hierarchy import CacheHierarchy, FilteredStream
     from ..scenes.primitives import SDFScene
+    from ..workloads.embedding import EmbeddingStreamSource, EmbeddingTraceConfig
 
 T = TypeVar("T")
 
@@ -104,6 +107,19 @@ def config_key(obj: Any) -> Any:
     if isinstance(obj, dict):
         return tuple(sorted((str(k), config_key(v)) for k, v in obj.items()))
     raise TypeError(f"cannot build a config key for {type(obj).__name__}: {obj!r}")
+
+
+def _batch_summary(result: Any) -> dict[str, float]:
+    """Storable summary dict of one serviced DRAM batch (TraceResult)."""
+    return {
+        "total_requests": int(result.total_requests),
+        "total_cycles": int(result.total_cycles),
+        "row_hits": int(result.row_hits),
+        "row_misses": int(result.row_misses),
+        "bank_conflicts": int(result.bank_conflicts),
+        "row_hit_rate": float(result.row_hit_rate),
+        "achieved_bandwidth_gbps": float(result.achieved_bandwidth_gbps),
+    }
 
 
 @dataclass
@@ -397,6 +413,112 @@ class SimulationContext:
             ),
         )
 
+    # ------------------------------------------------------- request streams
+    def _nerf_stream(
+        self,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        level: int,
+        indices: NDArray[Any],
+        points: NDArray[Any],
+    ) -> RequestStream:
+        """Wrap one level's corner indices + points into the typed IR."""
+        return RequestStream(
+            indices=indices,
+            entry_bytes=trace.entry_bytes,
+            table_entries=grid.level_table_entries(level),
+            base_address=table_base_address(grid, level, trace.entry_bytes),
+            dtype=trace.dtype,
+            group_ids=cube_ids(points, grid.resolutions[level]),
+            source="pipeline.context",
+            label=f"level={level}",
+        )
+
+    def request_stream(
+        self,
+        grid: HashGridConfig,
+        trace: TraceConfig,
+        hash_fn: HashFunction,
+        order: StreamingOrder,
+        level: int,
+    ) -> RequestStream:
+        """One level's lookups as a typed :class:`repro.streams.RequestStream`.
+
+        The memoized front-end/memory-system boundary artifact: corner
+        indices in stream order, grouped by cube id, with the table layout
+        facts (entry width, level base address) attached.  Derived from (and
+        sharing) the cached corner-index streams; occupancy traces are exact
+        IR subsets of their dense twin.  Every downstream consumer —
+        row-request accounting, the cache hierarchy, the DRAM timing model —
+        takes this object instead of a bare ndarray.
+        """
+        key = (
+            "request_stream",
+            config_key(grid),
+            config_key(trace),
+            hash_fn.name,
+            order.value,
+            level,
+        )
+
+        def compute() -> RequestStream:
+            indices = self.level_indices(grid, trace.dense(), hash_fn, level)
+            perm = self.stream_order(trace, order)
+            points = self.batch_points(trace).reshape(-1, 3)[perm]
+            stream = self._nerf_stream(grid, trace, level, indices[perm], points)
+            if trace.occupancy:
+                stream = stream.subset(self.occupancy_mask(trace)[perm])
+            return stream
+
+        return self.memoize(key, compute)
+
+    def stream_row_requests(self, stream: RequestStream, row_bytes: int = 1024) -> int:
+        """Memoized :func:`repro.core.streaming.row_requests_for_stream`."""
+        key = ("stream_row_requests", config_key(stream), row_bytes)
+        return self.memoize(key, lambda: row_requests_for_stream(stream, row_bytes))
+
+    def stream_filtered(self, hierarchy: CacheHierarchy, stream: RequestStream) -> FilteredStream:
+        """Any request stream pushed through an on-chip hierarchy (memoized)."""
+        key = (
+            "stream_filtered",
+            config_key(hierarchy.cache),
+            config_key(hierarchy.prefetcher),
+            config_key(hierarchy.scratchpad),
+            config_key(stream),
+        )
+        return self.memoize(key, lambda: hierarchy.filter_stream(stream))
+
+    def stream_serviced(
+        self, dram: str, stream: RequestStream, size_bytes: int | None = None
+    ) -> dict[str, float]:
+        """Any request stream serviced by a named DRAM spec (memoized summary)."""
+        key = ("stream_serviced", dram, config_key(stream), size_bytes)
+
+        def compute() -> dict[str, float]:
+            from ..dram.system import DRAMSystem
+
+            system = DRAMSystem(self.dram_spec(dram))
+            return _batch_summary(system.service_batch(stream, size_bytes=size_bytes))
+
+        return self.memoize(key, compute)
+
+    # ---------------------------------------------------------- embeddings
+    def embedding_source(self, config: EmbeddingTraceConfig) -> EmbeddingStreamSource:
+        """The embedding-table front-end for a trace configuration (memoized)."""
+        from ..workloads.embedding import EmbeddingStreamSource
+
+        key = ("embedding_source", config_key(config))
+        return self.memoize(key, lambda: EmbeddingStreamSource(config))
+
+    def embedding_stream(
+        self, config: EmbeddingTraceConfig, table: int, order: str = "arrival"
+    ) -> RequestStream:
+        """One embedding table's lookup stream as a typed request stream."""
+        key = ("embedding_stream", config_key(config), table, order)
+        return self.memoize(
+            key, lambda: self.embedding_source(config).stream(table, order=order)
+        )
+
     # ----------------------------------------------------------- locality
     def cube_sharing(self, trace: TraceConfig, resolution: int, order: StreamingOrder) -> float:
         """Average same-cube run length of the trace at one resolution."""
@@ -459,17 +581,16 @@ class SimulationContext:
                 pruned = points.reshape(-1, 3)[perm][keep]
                 cached = self.peek(self._indices_key(grid, trace, hash_fn, level))
                 if cached is not None:
-                    return row_requests_from_corner_indices(
-                        pruned, cached[perm][keep], level, grid, None, row_bytes, trace.entry_bytes
-                    )
+                    stream = self._nerf_stream(grid, trace, level, cached[perm][keep], pruned)
+                    return row_requests_for_stream(stream, row_bytes)
                 return memory_requests_for_stream(
                     pruned, level, grid, hash_fn, None, row_bytes, trace.entry_bytes
                 )
             cached = self.peek(self._indices_key(grid, trace, hash_fn, level))
             if cached is not None:
-                return row_requests_from_corner_indices(
-                    points, cached, level, grid, perm, row_bytes, trace.entry_bytes
-                )
+                ordered = points.reshape(-1, 3)[perm]
+                stream = self._nerf_stream(grid, trace, level, cached[perm], ordered)
+                return row_requests_for_stream(stream, row_bytes)
             return memory_requests_for_stream(
                 points, level, grid, hash_fn, perm, row_bytes, trace.entry_bytes
             )
@@ -655,9 +776,9 @@ class SimulationContext:
 
         ``hierarchy`` is a :class:`repro.mem.hierarchy.CacheHierarchy`; the
         result is the :class:`repro.mem.hierarchy.FilteredStream` whose
-        ``dram_addresses`` are what the DRAM system still has to service.
+        ``dram_stream()`` is what the DRAM system still has to service.
         Memoized by the full hierarchy + stream configuration, and derived
-        from the corner-index streams other experiments already cached.
+        from the typed request stream other experiments already cached.
         """
         key = (
             "filtered_stream",
@@ -672,13 +793,7 @@ class SimulationContext:
         )
 
         def compute() -> FilteredStream:
-            indices = self.level_indices(grid, trace.dense(), hash_fn, level)
-            perm = self.stream_order(trace, order)
-            ordered = indices[perm]
-            if trace.occupancy:
-                ordered = ordered[self.occupancy_mask(trace)[perm]]
-            addresses = lookup_addresses(ordered, level, grid, trace.entry_bytes)
-            return hierarchy.filter_stream(addresses, entry_bytes=trace.entry_bytes)
+            return hierarchy.filter_stream(self.request_stream(grid, trace, hash_fn, order, level))
 
         return self.memoize(key, compute)
 
@@ -727,24 +842,11 @@ class SimulationContext:
             from ..dram.system import DRAMSystem
 
             filtered = self.filtered_stream(hierarchy, grid, trace, hash_fn, order, level)
-            addresses = (
-                filtered.dram_addresses if stage == "misses" else filtered.demand_addresses
+            lines = filtered.dram_stream() if stage == "misses" else filtered.demand_stream()
+            system = DRAMSystem(self.dram_spec(dram))
+            return _batch_summary(
+                system.service_batch(lines, size_bytes=hierarchy.cache.line_bytes)
             )
-            spec = self.dram_spec(dram)
-            system = DRAMSystem(spec)
-            result = system.service_batch(
-                addresses % spec.organization.total_capacity_bytes,
-                size_bytes=hierarchy.cache.line_bytes,
-            )
-            return {
-                "total_requests": int(result.total_requests),
-                "total_cycles": int(result.total_cycles),
-                "row_hits": int(result.row_hits),
-                "row_misses": int(result.row_misses),
-                "bank_conflicts": int(result.bank_conflicts),
-                "row_hit_rate": float(result.row_hit_rate),
-                "achieved_bandwidth_gbps": float(result.achieved_bandwidth_gbps),
-            }
 
         return self.memoize(key, compute)
 
@@ -773,18 +875,9 @@ class SimulationContext:
         def compute() -> dict[str, float]:
             from ..dram.system import DRAMSystem
 
-            spec = self.dram_spec(dram)
-            system = DRAMSystem(spec)
-            addresses = self.level_addresses(grid, trace, hash_fn, level)
-            result = system.service_batch(addresses % spec.organization.total_capacity_bytes)
-            return {
-                "total_requests": int(result.total_requests),
-                "total_cycles": int(result.total_cycles),
-                "row_hits": int(result.row_hits),
-                "row_misses": int(result.row_misses),
-                "bank_conflicts": int(result.bank_conflicts),
-                "row_hit_rate": float(result.row_hit_rate),
-                "achieved_bandwidth_gbps": float(result.achieved_bandwidth_gbps),
-            }
+            system = DRAMSystem(self.dram_spec(dram))
+            stream = self.request_stream(grid, trace, hash_fn, StreamingOrder.RAY_FIRST, level)
+            # Historic burst size of the address-trace path, not entry_bytes.
+            return _batch_summary(system.service_batch(stream, size_bytes=32))
 
         return self.memoize(key, compute)

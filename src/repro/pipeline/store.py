@@ -52,6 +52,7 @@ import numpy as np
 from ..core.ioutil import atomic_write_bytes
 from ..core.streaming import LocalityReport
 from ..obs import get_metrics, get_tracer
+from ..streams.ir import RequestStream, StreamKind
 
 __all__ = [
     "ArtifactStore",
@@ -91,6 +92,51 @@ def key_digest(key: Any) -> str:
     """Stable SHA-256 hex digest of a canonical cache key."""
     payload = json.dumps(_canonical(key), separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: Marker key of a request-stream ``.npz`` payload; holds the typed JSON
+#: metadata document while ``indices``/``group_ids`` ride as plain arrays.
+_STREAM_SENTINEL = "__request_stream__"
+
+
+def _encode_request_stream(stream: RequestStream) -> dict[str, Any]:
+    """``np.savez`` keyword arrays for one :class:`RequestStream` payload."""
+    meta = json.dumps(
+        {
+            "entry_bytes": stream.entry_bytes,
+            "table_entries": stream.table_entries,
+            "base_address": stream.base_address,
+            "kind": stream.kind.value,
+            "dtype": stream.dtype,
+            "source": stream.source,
+            "label": stream.label,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    arrays: dict[str, Any] = {
+        _STREAM_SENTINEL: np.array(meta),
+        "indices": np.ascontiguousarray(stream.indices),
+    }
+    if stream.group_ids is not None:
+        arrays["group_ids"] = np.ascontiguousarray(stream.group_ids)
+    return arrays
+
+
+def _decode_request_stream(archive: Any) -> RequestStream:
+    """Rebuild a :class:`RequestStream` from its ``.npz`` payload."""
+    meta = json.loads(str(archive[_STREAM_SENTINEL]))
+    return RequestStream(
+        indices=archive["indices"],
+        entry_bytes=int(meta["entry_bytes"]),
+        table_entries=int(meta["table_entries"]),
+        base_address=int(meta["base_address"]),
+        kind=StreamKind(meta["kind"]),
+        dtype=str(meta["dtype"]),
+        group_ids=archive["group_ids"] if "group_ids" in archive.files else None,
+        source=str(meta["source"]),
+        label=str(meta["label"]),
+    )
 
 
 def _json_default(value: Any) -> Any:
@@ -161,6 +207,8 @@ class ArtifactStore:
             if value.dtype == object:
                 return None
             return ("ndarray", value)
+        if isinstance(value, RequestStream):
+            return ("request_stream", value)
         if isinstance(value, ExperimentResult):
             return ("experiment_result", value.to_dict())
         if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -230,6 +278,13 @@ class ArtifactStore:
                     buffer = io.BytesIO()
                     np.savez(buffer, value=np.ascontiguousarray(payload))
                     atomic_write_bytes(target, buffer.getvalue())
+                elif kind == "request_stream":
+                    target = self._payload_path(digest, "npz")
+                    if target.exists():
+                        return True
+                    buffer = io.BytesIO()
+                    np.savez(buffer, **_encode_request_stream(payload))
+                    atomic_write_bytes(target, buffer.getvalue())
                 else:
                     target = self._payload_path(digest, "json")
                     if target.exists():
@@ -279,8 +334,11 @@ class ArtifactStore:
                     value = self._decode(document)
                 elif npz_path.exists():
                     with np.load(npz_path, allow_pickle=False) as archive:
-                        value = archive["value"]
-                    value.flags.writeable = False
+                        if _STREAM_SENTINEL in archive.files:
+                            value = _decode_request_stream(archive)
+                        else:
+                            value = archive["value"]
+                            value.flags.writeable = False
                 else:
                     self.stats.misses += 1
                     if tracer.enabled:

@@ -1,0 +1,23 @@
+"""``repro.streams``: the typed request-stream IR.
+
+See :mod:`repro.streams.ir` for the :class:`RequestStream` dataclass and the
+:class:`StreamSource`/:class:`TableLayout` protocols front-ends implement.
+"""
+
+from .ir import (
+    RequestStream,
+    StreamKind,
+    StreamSource,
+    TableLayout,
+    iter_streams,
+    table_base_address,
+)
+
+__all__ = [
+    "RequestStream",
+    "StreamKind",
+    "StreamSource",
+    "TableLayout",
+    "iter_streams",
+    "table_base_address",
+]

@@ -1,0 +1,195 @@
+"""Embedding-table lookup traces: the second request-stream front-end.
+
+Recommendation-style embedding lookups share exactly the access pattern the
+paper's memory system targets: large tables of small rows, gathered by
+data-dependent indices with a skewed (Zipfian) popularity distribution and
+per-sample pooling — the same hash-gather shape as the NeRF corner lookups,
+minus the spatial hashing.  This module emits those lookups as typed
+:class:`repro.streams.RequestStream` objects, which is what lets the
+existing locality / bank-conflict / cache analyses run on embedding traffic
+without a single analysis-code change (the ``fig15_embedding_locality``
+experiment).
+
+The reuse-group axis here is the *bag signature*: two consecutive batch
+samples whose pooled lookup sets are identical gather the same rows, so the
+second one is a register hit — the embedding analogue of two consecutive
+ray samples sharing a cube.  The ``sorted`` stream order groups equal bags
+together (the analogue of ray-first streaming); ``arrival`` keeps the
+sampled batch order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..core import precision
+from ..streams.ir import RequestStream, TableLayout, table_base_address
+
+__all__ = [
+    "EmbeddingTableLayout",
+    "EmbeddingTraceConfig",
+    "EmbeddingStreamSource",
+    "zipfian_indices",
+]
+
+#: Stream orders the source can emit (the embedding analogue of the
+#: random / ray-first streaming orders of the NeRF front-end).
+_ORDERS = ("arrival", "sorted")
+
+
+@dataclass(frozen=True)
+class EmbeddingTableLayout:
+    """A bank of equally sized embedding tables, laid out back to back.
+
+    Satisfies the :class:`repro.streams.TableLayout` protocol (tables play
+    the role of hash-grid levels), so the hash-table mapper and the IR's
+    base-address arithmetic work on it unchanged.
+    """
+
+    num_tables: int = 8
+    table_rows: int = 2**14
+
+    def __post_init__(self) -> None:
+        if self.num_tables <= 0 or self.table_rows <= 0:
+            raise ValueError("num_tables and table_rows must be positive")
+
+    @property
+    def num_levels(self) -> int:
+        return self.num_tables
+
+    def level_table_entries(self, level: int) -> int:
+        if level < 0 or level >= self.num_tables:
+            raise ValueError(f"table {level} out of range for {self.num_tables} tables")
+        return self.table_rows
+
+
+@dataclass(frozen=True)
+class EmbeddingTraceConfig:
+    """Parameters of a synthetic embedding-lookup trace.
+
+    ``batch_size`` samples each gather ``pooling_factor`` rows from every
+    table (multi-hot pooled lookups); keys are drawn per table from a
+    Zipfian popularity distribution (``distribution="zipf"``, exponent
+    ``zipf_alpha``) or uniformly (``distribution="uniform"``).  Row width is
+    ``features_per_entry`` scalars at ``dtype`` precision — the same
+    dtype -> entry-bytes rule every other table config uses.
+    """
+
+    num_tables: int = 8
+    table_rows: int = 2**14
+    features_per_entry: int = 16
+    dtype: str = "fp32"
+    batch_size: int = 256
+    pooling_factor: int = 8
+    distribution: str = "zipf"
+    zipf_alpha: float = 1.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        precision.validate_precision(self.dtype)
+        if self.num_tables <= 0 or self.table_rows <= 0:
+            raise ValueError("num_tables and table_rows must be positive")
+        if self.batch_size <= 0 or self.pooling_factor <= 0:
+            raise ValueError("batch_size and pooling_factor must be positive")
+        if self.distribution not in ("zipf", "uniform"):
+            raise ValueError(
+                f"distribution must be 'zipf' or 'uniform', got {self.distribution!r}"
+            )
+        if self.zipf_alpha <= 0.0:
+            raise ValueError(f"zipf_alpha must be positive, got {self.zipf_alpha}")
+
+    @property
+    def entry_bytes(self) -> int:
+        """Bytes of one embedding row (``F`` features at ``dtype`` width)."""
+        return precision.entry_bytes(self.dtype, self.features_per_entry)
+
+    @property
+    def layout(self) -> EmbeddingTableLayout:
+        return EmbeddingTableLayout(num_tables=self.num_tables, table_rows=self.table_rows)
+
+
+def zipfian_indices(
+    rng: np.random.Generator, rows: int, size: int, alpha: float
+) -> NDArray[np.int64]:
+    """``size`` row ids drawn from a rank-``alpha`` Zipfian over ``rows`` rows.
+
+    Row ``r`` (0-based rank) has probability proportional to
+    ``(r + 1) ** -alpha``; sampling inverts the cumulative distribution with
+    one ``searchsorted``, so paper-scale tables stay cheap.
+    """
+    if rows <= 0 or size < 0:
+        raise ValueError("rows must be positive and size non-negative")
+    weights = np.arange(1, rows + 1, dtype=np.float64) ** -alpha
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    return np.searchsorted(cumulative, rng.random(size), side="right").astype(np.int64)
+
+
+class EmbeddingStreamSource:
+    """Emits one :class:`RequestStream` per embedding table.
+
+    Implements the :class:`repro.streams.StreamSource` protocol.  Keys are
+    drawn once per table from a deterministic per-table generator
+    (``default_rng([seed, table])``), so the same configuration always
+    yields byte-identical streams regardless of emission order.
+    """
+
+    def __init__(self, config: EmbeddingTraceConfig | None = None):
+        self.config = config or EmbeddingTraceConfig()
+
+    # ------------------------------------------------------- StreamSource
+    @property
+    def name(self) -> str:
+        return "embedding.lookup"
+
+    @property
+    def layout(self) -> TableLayout:
+        return self.config.layout
+
+    @property
+    def num_streams(self) -> int:
+        return self.config.num_tables
+
+    def table_indices(self, table: int) -> NDArray[np.int64]:
+        """The ``(batch_size, pooling_factor)`` pooled row ids of one table."""
+        cfg = self.config
+        if table < 0 or table >= cfg.num_tables:
+            raise ValueError(f"table {table} out of range for {cfg.num_tables} tables")
+        rng = np.random.default_rng([cfg.seed, table])
+        size = cfg.batch_size * cfg.pooling_factor
+        if cfg.distribution == "uniform":
+            flat = rng.integers(0, cfg.table_rows, size=size, dtype=np.int64)
+        else:
+            flat = zipfian_indices(rng, cfg.table_rows, size, cfg.zipf_alpha)
+        return flat.reshape(cfg.batch_size, cfg.pooling_factor)
+
+    def stream(self, table: int, order: str = "arrival") -> RequestStream:
+        """One table's pooled lookups as a typed request stream.
+
+        ``group_ids`` carry the bag signature: samples whose *sorted* pooled
+        row sets are identical share an id, so consecutive equal bags form
+        the register-reuse runs downstream locality accounting charges only
+        once.  ``order="sorted"`` streams equal bags back to back (a stable
+        sort, so arrival order breaks ties deterministically).
+        """
+        if order not in _ORDERS:
+            raise ValueError(f"order must be one of {_ORDERS}, got {order!r}")
+        cfg = self.config
+        indices = self.table_indices(table)
+        bags = np.unique(np.sort(indices, axis=1), axis=0, return_inverse=True)[1].ravel()
+        stream = RequestStream(
+            indices=indices,
+            entry_bytes=cfg.entry_bytes,
+            table_entries=cfg.table_rows,
+            base_address=table_base_address(cfg.layout, table, cfg.entry_bytes),
+            dtype=cfg.dtype,
+            group_ids=bags,
+            source=self.name,
+            label=f"table={table}",
+        )
+        if order == "sorted":
+            stream = stream.with_order(np.argsort(bags, kind="stable"))
+        return stream

@@ -18,6 +18,7 @@ from ..core import precision
 from ..core.hashing import DenseGridIndexer, HashFunction
 from ..nerf.encoding import HashGridConfig
 from ..nerf.occupancy import OccupancyGrid, OccupancyGridConfig, adaptive_sample_mask
+from ..streams.ir import RequestStream, TableLayout, table_base_address
 
 __all__ = [
     "TraceConfig",
@@ -90,7 +91,7 @@ class TraceConfig:
     @property
     def entry_bytes(self) -> int:
         """Bytes of one embedding vector (``F`` features at ``dtype`` width)."""
-        return max(1, self.features_per_entry * precision.dtype_bytes(self.dtype))
+        return precision.entry_bytes(self.dtype, self.features_per_entry)
 
     def dense(self) -> "TraceConfig":
         """The occupancy-free twin of this trace (identical sampled points).
@@ -359,35 +360,73 @@ class HashTraceGenerator:
         """The sampled batch, shape ``(num_rays, points_per_ray, 3)``."""
         return self._points
 
-    def indices_for_level(self, level: int, point_order: np.ndarray | None = None) -> np.ndarray:
-        """Per-point corner indices at a level, optionally reordering points.
+    # ------------------------------------------------------- StreamSource
+    @property
+    def name(self) -> str:
+        return "nerf.hash_trace"
 
-        ``point_order`` is a permutation over the flattened point axis (as
-        produced by :mod:`repro.core.streaming`).  Occupancy-pruned samples
-        are dropped after the reordering, preserving stream order.
+    @property
+    def layout(self) -> TableLayout:
+        return self.grid
+
+    @property
+    def num_streams(self) -> int:
+        return self.grid.num_levels
+
+    def stream(self, level: int, point_order: np.ndarray | None = None) -> RequestStream:
+        """One level's lookups as a typed :class:`RequestStream`.
+
+        The single trace-emission code path: points are permuted by
+        ``point_order`` (a permutation over the flattened point axis, as
+        produced by :mod:`repro.core.streaming`), hashed into per-point
+        corner indices, grouped by cube id (the reuse-group axis downstream
+        locality accounting keys on), and — with occupancy enabled — pruned
+        to the exact IR subset of the dense stream, after the reordering so
+        stream order is preserved.
         """
+        from ..core.streaming import cube_ids
+
         pts = self._points.reshape(-1, 3)
         if point_order is not None:
             pts = pts[point_order]
         indices = level_lookup_indices(pts, level, self.grid, self.hash_fn)
+        stream = RequestStream(
+            indices=indices,
+            entry_bytes=self.config.entry_bytes,
+            table_entries=self.grid.level_table_entries(level),
+            base_address=table_base_address(self.grid, level, self.config.entry_bytes),
+            dtype=self.config.dtype,
+            group_ids=cube_ids(pts, self.grid.resolutions[level]),
+            source=self.name,
+            label=f"level={level}",
+        )
         if self.occupancy_mask is not None:
             keep = (
                 self.occupancy_mask
                 if point_order is None
                 else self.occupancy_mask[point_order]
             )
-            indices = indices[keep]
-        return indices
+            stream = stream.subset(keep)
+        return stream
+
+    # ------------------------------------------------- legacy ndarray views
+    def indices_for_level(self, level: int, point_order: np.ndarray | None = None) -> np.ndarray:
+        """Per-point corner indices at a level, optionally reordering points.
+
+        A thin view over :meth:`stream` (one code path for ordering and
+        occupancy pruning); the returned array is read-only because it is
+        the stream's own index storage.
+        """
+        return self.stream(level, point_order).indices
 
     def addresses_for_level(
         self, level: int, point_order: np.ndarray | None = None, base_address: int = 0
     ) -> np.ndarray:
         """Flattened byte-address trace (8 lookups per point, in point order)."""
-        idx = self.indices_for_level(level, point_order)
-        return lookup_addresses(idx, level, self.grid, self.config.entry_bytes, base_address)
+        return base_address + self.stream(level, point_order).addresses
 
     def full_trace(self, point_order: np.ndarray | None = None) -> np.ndarray:
         """Concatenated address trace across all levels (level-major)."""
         return np.concatenate(
-            [self.addresses_for_level(level, point_order) for level in range(self.grid.num_levels)]
+            [self.stream(level, point_order).addresses for level in range(self.grid.num_levels)]
         )

@@ -290,6 +290,37 @@ def test_rpr008_silent_in_frontends_obs_and_outside_src():
     assert lint_snippet(noisy, rel="tests/test_example.py").ok
 
 
+# ----------------------------------------------------------------- RPR009
+
+
+def test_rpr009_fires_on_inline_address_arrays_at_the_boundary():
+    result = lint_snippet(
+        "import numpy as np\n"
+        "def f(hierarchy, dram, indices, grid, trace):\n"
+        "    hierarchy.filter_stream(indices * 4)\n"
+        "    dram.service_batch(np.arange(32) * 64)\n"
+        "    dram.service_batch(lookup_addresses(indices, 0, grid, trace))\n",
+        rel="src/repro/pipeline/example.py",
+    )
+    assert rule_ids(result) == ["RPR009"] * 3
+    assert "RequestStream" in result.findings[0].message
+
+
+def test_rpr009_silent_on_streams_and_plumbed_values():
+    code = (
+        "def f(ctx, hierarchy, dram, grid, trace, hash_fn, order, level, addresses):\n"
+        "    hierarchy.filter_stream(ctx.request_stream(grid, trace, hash_fn, order, level))\n"
+        "    dram.service_batch(hierarchy.filter_stream(addresses).dram_stream())\n"
+        "    dram.service_batch(addresses)\n"
+    )
+    assert lint_snippet(code, rel="src/repro/pipeline/example.py").ok
+    # the IR package and the memory-system backends are exempt by design
+    raw = "def f(dram):\n    dram.service_batch([1, 2, 3])\n"
+    assert lint_snippet(raw, rel="src/repro/mem/hierarchy.py").ok
+    assert lint_snippet(raw, rel="src/repro/dram/system.py").ok
+    assert lint_snippet(raw, rel="src/repro/streams/ir.py").ok
+
+
 # ----------------------------------------------------------------- waivers
 
 
@@ -355,6 +386,7 @@ def test_every_rule_has_docs_and_both_fixtures_exist():
         "RPR006",
         "RPR007",
         "RPR008",
+        "RPR009",
     ]
     for rule in RULES:
         assert rule.summary and rule.rationale

@@ -28,6 +28,7 @@ EXPECTED_SPECS = (
     "fig01", "fig04", "fig06", "fig07", "fig09", "fig10", "fig11",
     "fig12_cache_hit_rate",
     "fig13_occupancy_traffic",
+    "fig15_embedding_locality",
     "tab01", "tab02", "tab03", "tab04",
     "tab05_psnr_precision",
 )

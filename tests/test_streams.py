@@ -1,0 +1,408 @@
+"""Tests for the typed request-stream IR (``repro.streams``).
+
+Covers the PR's acceptance points:
+
+* ``RequestStream`` construction, validation, derived properties and the
+  reshape operations (``with_order`` / ``subset`` / ``run_starts``);
+* address derivation bit-identical to the legacy
+  :func:`repro.workloads.traces.lookup_addresses` arithmetic;
+* both front-ends satisfy the ``StreamSource`` protocol, and occupancy
+  pruning yields exact IR subsets of the dense stream;
+* ``RequestStream`` round-trips through the :class:`ArtifactStore` (npz
+  payload with a typed JSON metadata document);
+* fig07/fig09/fig12 artifacts are byte-identical to values recomputed with
+  the pre-redesign ndarray kernels;
+* the deprecated shims (ndarray ``filter_stream``, the corner-index
+  row-request helper, the legacy ``run_*`` wrappers) warn once and return
+  identical results;
+* the embedding front-end: determinism, Zipfian skew, bag sorting, and the
+  ``fig15_embedding_locality`` experiment that runs the shared analyses on
+  embedding traffic with no analysis-code changes.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.accel.nmp import AlgorithmLocality
+from repro.core.hashing import MortonLocalityHash, OriginalSpatialHash
+from repro.core.mapping import HashTableMapper, HashTableMappingConfig, IntraLevelPolicy
+from repro.core.streaming import (
+    StreamingOrder,
+    memory_requests_for_stream,
+    point_order,
+    row_requests_for_stream,
+    row_requests_from_corner_indices,
+    stream_register_hit_rate,
+    stream_sharing_run_length,
+)
+from repro.dram.system import DRAMSystem
+from repro.experiments import run_fig07, run_fig09, run_fig10, run_fig12, run_fig15
+from repro.mem import CacheConfig, CacheHierarchy, PrefetcherConfig
+from repro.nerf.encoding import HashGridConfig
+from repro.pipeline import ArtifactStore, SimulationContext
+from repro.pipeline.registry import get_experiment
+from repro.streams import (
+    RequestStream,
+    StreamKind,
+    StreamSource,
+    iter_streams,
+    table_base_address,
+)
+from repro.workloads.embedding import (
+    EmbeddingStreamSource,
+    EmbeddingTableLayout,
+    EmbeddingTraceConfig,
+    zipfian_indices,
+)
+from repro.workloads.traces import HashTraceGenerator, TraceConfig, lookup_addresses
+
+GRID = HashGridConfig(num_levels=4)
+TRACE = TraceConfig(num_rays=16, points_per_ray=8, seed=3)
+EMB = EmbeddingTraceConfig(num_tables=2, table_rows=512, batch_size=32, pooling_factor=4)
+
+
+def small_stream(**overrides):
+    defaults = dict(
+        indices=np.arange(12).reshape(3, 4),
+        entry_bytes=8,
+        table_entries=64,
+        group_ids=np.array([0, 0, 1]),
+        source="test",
+        label="unit",
+    )
+    defaults.update(overrides)
+    return RequestStream(**defaults)
+
+
+# ------------------------------------------------------------------ the IR
+def test_request_stream_properties_and_freezing():
+    stream = small_stream()
+    assert stream.num_points == 3
+    assert stream.accesses_per_point == 4
+    assert stream.num_accesses == 12
+    assert stream.total_bytes == 12 * 8
+    assert stream.kind is StreamKind.GATHER and not stream.writes
+    assert not stream.indices.flags.writeable
+    assert not stream.group_ids.flags.writeable
+    # the constructor copies rather than freezing the caller's array
+    mine = np.arange(12).reshape(3, 4)
+    RequestStream(indices=mine, entry_bytes=4, table_entries=64)
+    assert mine.flags.writeable
+
+
+def test_request_stream_validation():
+    with pytest.raises(ValueError, match=r"\(N, P\)"):
+        small_stream(indices=np.arange(4))
+    with pytest.raises(ValueError, match="entry_bytes"):
+        small_stream(entry_bytes=0)
+    with pytest.raises(ValueError, match="table_entries"):
+        small_stream(table_entries=0)
+    with pytest.raises(ValueError, match="base_address"):
+        small_stream(base_address=-1)
+    with pytest.raises(ValueError, match=r"indices must lie"):
+        small_stream(table_entries=4)
+    with pytest.raises(ValueError, match="group_ids"):
+        small_stream(group_ids=np.array([0, 1]))
+
+
+def test_addresses_with_order_subset_and_run_starts():
+    stream = small_stream(base_address=1000)
+    assert np.array_equal(
+        stream.addresses, 1000 + np.arange(12) * 8
+    )
+    perm = np.array([2, 0, 1])
+    reordered = stream.with_order(perm)
+    assert np.array_equal(reordered.indices, stream.indices[perm])
+    assert np.array_equal(reordered.group_ids, stream.group_ids[perm])
+    sub = stream.subset(np.array([True, False, True]))
+    assert np.array_equal(sub.indices, stream.indices[[0, 2]])
+    assert np.array_equal(sub.group_ids, np.array([0, 1]))
+    # runs of equal consecutive group ids charge only their first point
+    assert np.array_equal(stream.run_starts(), np.array([True, False, True]))
+    assert stream.subset(np.zeros(3, dtype=bool)).num_points == 0
+    with pytest.raises(ValueError, match="keep"):
+        stream.subset(np.array([True]))
+
+
+def test_table_base_address_matches_back_to_back_layout():
+    layout = EmbeddingTableLayout(num_tables=3, table_rows=100)
+    assert table_base_address(layout, 0, 8) == 0
+    assert table_base_address(layout, 2, 8) == 2 * 100 * 8
+    with pytest.raises(ValueError, match="out of range"):
+        table_base_address(layout, 3, 8)
+
+
+# ------------------------------------------------------------ stream sources
+def test_both_front_ends_satisfy_the_stream_source_protocol():
+    nerf = HashTraceGenerator(GRID, TRACE, MortonLocalityHash())
+    emb = EmbeddingStreamSource(EMB)
+    for source, expected in ((nerf, GRID.num_levels), (emb, EMB.num_tables)):
+        assert isinstance(source, StreamSource)
+        assert source.num_streams == expected
+        streams = list(iter_streams(source))
+        assert len(streams) == expected
+        assert all(isinstance(s, RequestStream) for s in streams)
+        assert streams[0].source == source.name
+
+
+def test_nerf_stream_addresses_match_legacy_lookup_addresses():
+    gen = HashTraceGenerator(GRID, TRACE, MortonLocalityHash())
+    order = point_order(
+        TRACE.num_rays, TRACE.points_per_ray, StreamingOrder.RANDOM, np.random.default_rng(7)
+    )
+    for level in range(GRID.num_levels):
+        for perm in (None, order):
+            stream = gen.stream(level, perm)
+            legacy = lookup_addresses(stream.indices, level, GRID, TRACE.entry_bytes)
+            assert np.array_equal(stream.addresses, legacy)
+            assert stream.entry_bytes == TRACE.entry_bytes
+            assert stream.table_entries == GRID.level_table_entries(level)
+            assert stream.label == f"level={level}"
+
+
+def test_pruned_occupancy_streams_are_exact_ir_subsets_of_dense():
+    ctx = SimulationContext()
+    occ = TraceConfig(num_rays=16, points_per_ray=8, seed=3, scene="lego", occupancy=True)
+    hash_fn = MortonLocalityHash()
+    for level in (0, GRID.num_levels - 1):
+        dense = ctx.request_stream(GRID, occ.dense(), hash_fn, StreamingOrder.RAY_FIRST, level)
+        pruned = ctx.request_stream(GRID, occ, hash_fn, StreamingOrder.RAY_FIRST, level)
+        mask = ctx.occupancy_mask(occ)
+        assert 0 < pruned.num_points < dense.num_points
+        assert np.array_equal(pruned.indices, dense.indices[mask])
+        assert np.array_equal(pruned.group_ids, dense.group_ids[mask])
+
+
+# ----------------------------------------------------------- store roundtrip
+def test_request_stream_roundtrips_through_the_artifact_store(tmp_path):
+    store = ArtifactStore(tmp_path)
+    gen = HashTraceGenerator(GRID, TRACE, MortonLocalityHash())
+    original = gen.stream(1)
+    assert store.put(("k", "stream"), original)
+    loaded = ArtifactStore(tmp_path).get(("k", "stream"))
+    assert isinstance(loaded, RequestStream)
+    assert np.array_equal(loaded.indices, original.indices)
+    assert np.array_equal(loaded.group_ids, original.group_ids)
+    assert not loaded.indices.flags.writeable
+    for attr in ("entry_bytes", "table_entries", "base_address", "kind", "dtype",
+                 "source", "label"):
+        assert getattr(loaded, attr) == getattr(original, attr), attr
+    # a group-less WRITE stream keeps its kind and its None group axis
+    bare = RequestStream(
+        indices=np.arange(6).reshape(6, 1),
+        entry_bytes=2,
+        table_entries=8,
+        kind=StreamKind.WRITE,
+        dtype="int8",
+    )
+    assert store.put(("k", "bare"), bare)
+    reloaded = ArtifactStore(tmp_path).get(("k", "bare"))
+    assert reloaded.kind is StreamKind.WRITE and reloaded.writes
+    assert reloaded.group_ids is None and reloaded.dtype == "int8"
+
+
+def test_warm_store_reproduces_fig09_byte_identically(tmp_path):
+    kwargs = dict(subarrays="1,4", levels=3, rays=16, points_per_ray=8, scene="")
+    cold = get_experiment("fig09").run(SimulationContext(store=ArtifactStore(tmp_path)), **kwargs)
+    warm = get_experiment("fig09").run(SimulationContext(store=ArtifactStore(tmp_path)), **kwargs)
+    assert cold.to_json() == warm.to_json()
+
+
+# --------------------------------------------- byte-identity vs legacy paths
+def test_fig07_row_requests_match_the_legacy_kernel():
+    ctx = SimulationContext()
+    baseline, optimized = OriginalSpatialHash(), MortonLocalityHash()
+    result = run_fig07.__wrapped__(
+        GRID, TRACE, context=ctx, baseline_hash=baseline, optimized_hash=optimized
+    )
+    points = ctx.batch_points(TRACE).reshape(-1, 3)
+    for row in result.rows:
+        level = row["level"]
+        legacy_base = memory_requests_for_stream(
+            points, level, GRID, baseline,
+            order=ctx.stream_order(TRACE, StreamingOrder.RANDOM),
+        )
+        legacy_opt = memory_requests_for_stream(
+            points, level, GRID, optimized,
+            order=ctx.stream_order(TRACE, StreamingOrder.RAY_FIRST),
+        )
+        assert row["baseline_row_requests"] == legacy_base
+        assert row["optimized_row_requests"] == legacy_opt
+
+
+def test_fig09_conflicts_match_the_legacy_level_indices_path():
+    ctx = SimulationContext()
+    hash_fn = MortonLocalityHash()
+    result = run_fig09.__wrapped__((1, 4), GRID, TRACE, 16, context=ctx, hash_fn=hash_fn)
+    for row in result.rows:
+        indices = ctx.level_indices(GRID, TRACE, hash_fn, row["level"]).ravel()
+        for subarrays in (1, 4):
+            mapper = HashTableMapper(
+                GRID,
+                HashTableMappingConfig(
+                    subarrays_per_bank=subarrays,
+                    intra_level_policy=IntraLevelPolicy.SUBARRAY_INTERLEAVED,
+                ),
+            )
+            stats = mapper.count_conflicts(row["level"], indices, parallel_points=16)
+            assert row[f"conflicts_{subarrays}sa"] == stats.bank_conflicts
+
+
+def test_fig12_filtering_matches_the_legacy_ndarray_path():
+    ctx = SimulationContext()
+    hash_fn = MortonLocalityHash()
+    hierarchy = CacheHierarchy(cache=CacheConfig(capacity_bytes=16 * 1024))
+    for level in range(GRID.num_levels):
+        via_ir = ctx.filtered_stream(
+            hierarchy, GRID, TRACE, hash_fn, StreamingOrder.RAY_FIRST, level
+        )
+        addresses = lookup_addresses(
+            ctx.level_indices(GRID, TRACE, hash_fn, level), level, GRID, TRACE.entry_bytes
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = hierarchy.filter_stream(
+                addresses, accesses_per_point=8, entry_bytes=TRACE.entry_bytes
+            )
+        assert via_ir.stats == legacy.stats
+        assert np.array_equal(via_ir.dram_lines, legacy.dram_lines)
+        assert np.array_equal(via_ir.demand_lines, legacy.demand_lines)
+
+
+def test_dram_service_batch_accepts_streams_and_matches_addresses():
+    gen = HashTraceGenerator(GRID, TRACE, MortonLocalityHash())
+    stream = gen.stream(0)
+    capacity = DRAMSystem().spec.organization.total_capacity_bytes
+    via_stream = DRAMSystem().service_batch(stream, size_bytes=32)
+    via_addresses = DRAMSystem().service_batch(stream.addresses % capacity, size_bytes=32)
+    assert via_stream.total_cycles == via_addresses.total_cycles
+    assert via_stream.row_hits == via_addresses.row_hits
+
+
+# -------------------------------------------------------------- deprecations
+def test_corner_index_row_request_shim_warns_and_matches_the_ir():
+    ctx = SimulationContext()
+    points = ctx.batch_points(TRACE).reshape(-1, 3)
+    gen = HashTraceGenerator(GRID, TRACE, MortonLocalityHash())
+    stream = gen.stream(2)
+    with pytest.warns(DeprecationWarning, match="row_requests_for_stream"):
+        legacy = row_requests_from_corner_indices(points, stream.indices, 2, GRID)
+    assert legacy == row_requests_for_stream(stream)
+
+
+def test_filter_stream_ndarray_path_warns_stream_path_does_not():
+    hierarchy = CacheHierarchy(cache=CacheConfig(capacity_bytes=4096))
+    stream = HashTraceGenerator(GRID, TRACE, MortonLocalityHash()).stream(0)
+    with pytest.warns(DeprecationWarning, match="RequestStream"):
+        hierarchy.filter_stream(stream.addresses)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        hierarchy.filter_stream(stream)
+
+
+def test_legacy_run_wrappers_warn_and_return_identical_results():
+    with pytest.warns(DeprecationWarning, match="python -m repro run fig10"):
+        legacy = run_fig10(num_banks=4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        direct = run_fig10.__wrapped__(num_banks=4)
+    assert legacy.to_json() == direct.to_json()
+    # the registered path never touches the deprecated wrapper
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        registered = get_experiment("fig10").run(num_banks=4)
+    assert registered.to_json() == direct.to_json()
+
+
+# ---------------------------------------------------------------- embeddings
+def test_embedding_streams_are_deterministic_and_in_range():
+    a = EmbeddingStreamSource(EMB)
+    b = EmbeddingStreamSource(EmbeddingTraceConfig(**vars(EMB)))
+    for table in range(EMB.num_tables):
+        sa, sb = a.stream(table), b.stream(table)
+        assert np.array_equal(sa.indices, sb.indices)
+        assert np.array_equal(sa.group_ids, sb.group_ids)
+        assert sa.indices.shape == (EMB.batch_size, EMB.pooling_factor)
+        assert sa.table_entries == EMB.table_rows
+        assert sa.base_address == table * EMB.table_rows * EMB.entry_bytes
+    assert not np.array_equal(a.stream(0).indices, a.stream(1).indices)
+
+
+def test_zipfian_keys_are_skewed_toward_low_ranks():
+    rng = np.random.default_rng(0)
+    draws = zipfian_indices(rng, 1000, 20_000, alpha=1.2)
+    assert draws.min() >= 0 and draws.max() < 1000
+    # rank 0 must dominate; a uniform draw would put ~20 samples on any row
+    assert (draws == 0).sum() > 1000
+    uniform_cfg = EmbeddingTraceConfig(**{**vars(EMB), "distribution": "uniform"})
+    zipf_unique = len(np.unique(EmbeddingStreamSource(EMB).stream(0).indices))
+    uniform_unique = len(np.unique(EmbeddingStreamSource(uniform_cfg).stream(0).indices))
+    assert zipf_unique < uniform_unique
+
+
+def test_embedding_sorted_order_groups_bags_and_never_costs_more_rows():
+    skewed = EmbeddingTraceConfig(
+        num_tables=1, table_rows=64, batch_size=128, pooling_factor=2, zipf_alpha=1.6
+    )
+    source = EmbeddingStreamSource(skewed)
+    arrival, bagged = source.stream(0, order="arrival"), source.stream(0, order="sorted")
+    assert np.all(np.diff(bagged.group_ids) >= 0)
+    assert np.array_equal(np.sort(arrival.indices, axis=None), np.sort(bagged.indices, axis=None))
+    assert row_requests_for_stream(bagged) <= row_requests_for_stream(arrival)
+    assert stream_sharing_run_length(bagged) >= stream_sharing_run_length(arrival)
+    assert 0.0 <= stream_register_hit_rate(bagged) <= 1.0
+
+
+def test_embedding_validation_errors():
+    with pytest.raises(ValueError, match="distribution"):
+        EmbeddingTraceConfig(distribution="gaussian")
+    with pytest.raises(ValueError, match="zipf_alpha"):
+        EmbeddingTraceConfig(zipf_alpha=0.0)
+    with pytest.raises(ValueError, match="out of range"):
+        EmbeddingStreamSource(EMB).stream(EMB.num_tables)
+    with pytest.raises(ValueError, match="order"):
+        EmbeddingStreamSource(EMB).stream(0, order="shuffled")
+
+
+def test_algorithm_locality_from_request_stream():
+    bagged = EmbeddingStreamSource(EMB).stream(0, order="sorted")
+    locality = AlgorithmLocality.from_request_stream(bagged)
+    assert locality.row_requests_per_cube > 0
+    assert locality.cube_sharing_run_length >= 1.0
+
+
+# -------------------------------------------------------------------- fig15
+def test_fig15_runs_the_shared_analyses_on_embedding_traffic():
+    ctx = SimulationContext()
+    result = run_fig15.__wrapped__(EMB, (1, 4), context=ctx, timing=True)
+    assert len(result.rows) == EMB.num_tables
+    expected = {
+        "table", "bag_sharing_run_length", "register_hit_rate",
+        "arrival_row_requests", "sorted_row_requests", "effective_bw_improvement",
+        "conflicts_1sa", "conflicts_4sa", "sequential_fraction",
+        "l0_hit_rate", "overall_hit_rate", "dram_lines", "traffic_reduction",
+        "dram_cycles", "uncached_dram_cycles", "dram_time_reduction",
+    }
+    assert expected <= set(result.rows[0])
+    # zero-analysis-change proof: the row's numbers ARE the shared consumers'
+    # outputs on the embedding stream, not an embedding-specific reimplementation
+    row_bytes = ctx.dram_spec("lpddr4-2400").organization.row_buffer_bytes
+    bagged = ctx.embedding_stream(EMB, 0, order="sorted")
+    assert result.rows[0]["sorted_row_requests"] == row_requests_for_stream(bagged, row_bytes)
+    assert result.rows[0]["bag_sharing_run_length"] == stream_sharing_run_length(bagged)
+    json.loads(result.to_json())  # artifact-serializable
+
+
+def test_fig15_registered_experiment_end_to_end():
+    result = get_experiment("fig15_embedding_locality").run(
+        tables=2, table_rows=512, batch=32, pooling=4,
+        subarrays="1", timing=False, distribution="uniform",
+    )
+    assert len(result.rows) == 2
+    assert all(row["distribution"] == "uniform" for row in result.rows)
+    assert all(row["arrival_row_requests"] >= row["sorted_row_requests"] for row in result.rows)
