@@ -38,6 +38,7 @@ from repro.mem import (
     simulate_cache_reference,
 )
 from repro.nerf.encoding import HashGridConfig
+from repro.streams import RequestStream
 from repro.workloads.traces import TraceConfig, generate_batch_points, level_lookup_indices
 
 SMOKE = os.environ.get("PERF_SMOKE", "") == "1"
@@ -153,10 +154,15 @@ def test_hierarchy_filter_stream_speedup(finest_level_indices):
         CacheConfig(capacity_bytes=128 * 1024, line_bytes=64, ways=4, mshr_latency=4),
         PrefetcherConfig(policy="stride"),
     )
-    addresses = finest_level_indices * 4
-    hierarchy.filter_stream(addresses)  # warm
-    vec_s, fast = _time(lambda: hierarchy.filter_stream(addresses))
-    ref_s, oracle = _time(lambda: hierarchy.filter_stream_reference(addresses), repeats=1)
+    stream = RequestStream(
+        indices=finest_level_indices,
+        entry_bytes=4,
+        table_entries=int(finest_level_indices.max()) + 1,
+        source="bench.mem",
+    )
+    hierarchy.filter_stream(stream)  # warm
+    vec_s, fast = _time(lambda: hierarchy.filter_stream(stream))
+    ref_s, oracle = _time(lambda: hierarchy.filter_stream_reference(stream), repeats=1)
     np.testing.assert_array_equal(fast.outcomes, oracle.outcomes)
     np.testing.assert_array_equal(fast.dram_lines, oracle.dram_lines)
     assert fast.stats == oracle.stats

@@ -33,6 +33,7 @@ from repro import obs
 from repro.dram.system import DRAMSystem
 from repro.experiments.runner import atomic_write_text
 from repro.mem.hierarchy import CacheHierarchy
+from repro.streams import RequestStream
 
 SMOKE = os.environ.get("PERF_SMOKE", "") == "1"
 NUM_ADDRESSES = 4_096 if SMOKE else 65_536
@@ -152,8 +153,9 @@ def test_dram_service_batch_disabled_overhead():
 
 def test_mem_filter_stream_disabled_overhead():
     rng = np.random.default_rng(1)
-    addresses = rng.integers(0, 1 << 20, size=NUM_ADDRESSES, dtype=np.int64) * 4
-    hierarchy = CacheHierarchy()
-    _gate_kernel(
-        "mem_filter_stream", lambda: hierarchy.filter_stream(addresses, accesses_per_point=8)
+    indices = rng.integers(0, 1 << 20, size=NUM_ADDRESSES, dtype=np.int64).reshape(-1, 8)
+    stream = RequestStream(
+        indices=indices, entry_bytes=4, table_entries=1 << 20, source="bench.obs"
     )
+    hierarchy = CacheHierarchy()
+    _gate_kernel("mem_filter_stream", lambda: hierarchy.filter_stream(stream))

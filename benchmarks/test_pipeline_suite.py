@@ -54,6 +54,7 @@ from repro.experiments import (
     run_fig11,
     run_fig12,
     run_fig13,
+    run_fig14,
     run_fig15,
     run_tab01,
     run_tab02,
@@ -65,6 +66,7 @@ from repro.experiments.runner import atomic_write_text
 from repro.nerf.encoding import HashGridConfig
 from repro.pipeline import ArtifactStore, SimulationContext, run_suite, sweep
 from repro.pipeline.sweep import ProcessSweepExecutor
+from repro.serve import BatchPolicy, ServeWorkloadConfig, ServiceCostConfig
 from repro.workloads.embedding import EmbeddingTraceConfig
 from repro.workloads.traces import TraceConfig
 
@@ -99,6 +101,12 @@ TAB05_DTYPES = ("fp32", "int8")
 #: Smoke-scale embedding front-end (Fig. 15): two small Zipfian tables.
 EMB_CONFIG = EmbeddingTraceConfig(num_tables=2, table_rows=2048, batch_size=64, pooling_factor=4)
 EMB_SUBARRAYS = (1, 4)
+#: Smoke-scale serving sweep (Fig. 14): light + saturated load, both policies.
+SERVE_LOADS = (0.5, 4.0)
+SERVE_POLICIES = (BatchPolicy.FIFO, BatchPolicy.SJF)
+SERVE_ADMISSIONS = ("none", "depth")
+SERVE_WORKLOAD = ServeWorkloadConfig(requests_per_tenant=24)
+SERVE_COST = ServiceCostConfig(grid_levels=2)
 OVERRIDES = {
     "fig07": {"rays": RAYS, "probe_samples": PROBES},
     "fig09": {
@@ -118,6 +126,13 @@ OVERRIDES = {
         "probe_samples": PROBES,
         "resolutions": ",".join(map(str, OCC_RESOLUTIONS)),
         "timing": "false",
+    },
+    "fig14_serving_latency": {
+        "loads": ",".join(map(str, SERVE_LOADS)),
+        "policies": ",".join(p.value for p in SERVE_POLICIES),
+        "admission": ",".join(SERVE_ADMISSIONS),
+        "requests": SERVE_WORKLOAD.requests_per_tenant,
+        "grid_levels": SERVE_COST.grid_levels,
     },
     "fig15_embedding_locality": {
         "tables": EMB_CONFIG.num_tables,
@@ -155,27 +170,27 @@ def _tab05_config() -> PrecisionRunConfig:
 def _legacy_fast() -> dict:
     """The ten model-driven experiments via the legacy entry points."""
     return {
-        "fig01": run_fig01(),
-        "fig04": run_fig04(),
-        "fig06": run_fig06(),
-        "fig07": run_fig07(GRID16, TRACE),
-        "fig09": run_fig09(SUBARRAYS, GRID16, TRACE),
-        "fig10": run_fig10(),
-        "fig11": run_fig11(
+        "fig01": run_fig01.__wrapped__(),
+        "fig04": run_fig04.__wrapped__(),
+        "fig06": run_fig06.__wrapped__(),
+        "fig07": run_fig07.__wrapped__(GRID16, TRACE),
+        "fig09": run_fig09.__wrapped__(SUBARRAYS, GRID16, TRACE),
+        "fig10": run_fig10.__wrapped__(),
+        "fig11": run_fig11.__wrapped__(
             InstantNeRFSystem(AlgorithmConfig.instant_nerf(), GRID16, trace_config=TRACE)
         ),
-        "tab01": run_tab01(),
-        "tab02": run_tab02(),
-        "tab03": run_tab03(),
+        "tab01": run_tab01.__wrapped__(),
+        "tab02": run_tab02.__wrapped__(),
+        "tab03": run_tab03.__wrapped__(),
     }
 
 
 def _legacy_full() -> dict:
     results = _legacy_fast()
-    results["tab04"] = run_tab04(QualityRunConfig(scenes=("lego",), **PSNR_KW), ("ingp",))
-    results["tab05_psnr_precision"] = run_tab05(_tab05_config())
-    results["fig12_cache_hit_rate"] = run_fig12(GRID16, TRACE, CACHE_KB, timing=False)
-    results["fig13_occupancy_traffic"] = run_fig13(
+    results["tab04"] = run_tab04.__wrapped__(QualityRunConfig(scenes=("lego",), **PSNR_KW), ("ingp",))
+    results["tab05_psnr_precision"] = run_tab05.__wrapped__(_tab05_config())
+    results["fig12_cache_hit_rate"] = run_fig12.__wrapped__(GRID16, TRACE, CACHE_KB, timing=False)
+    results["fig13_occupancy_traffic"] = run_fig13.__wrapped__(
         GRID16,
         TraceConfig(
             num_rays=RAYS, points_per_ray=POINTS_PER_RAY, seed=0, scene="mic", probe_samples=PROBES
@@ -183,7 +198,17 @@ def _legacy_full() -> dict:
         OCC_RESOLUTIONS,
         timing=False,
     )
-    results["fig15_embedding_locality"] = run_fig15(EMB_CONFIG, EMB_SUBARRAYS, timing=False)
+    results["fig15_embedding_locality"] = run_fig15.__wrapped__(EMB_CONFIG, EMB_SUBARRAYS, timing=False)
+    # Fig. 14 is registry-native (no deprecated entry point); the standalone
+    # equivalent is the same run function against a private throwaway context.
+    results["fig14_serving_latency"] = run_fig14(
+        SERVE_WORKLOAD,
+        SERVE_COST,
+        SERVE_LOADS,
+        SERVE_POLICIES,
+        SERVE_ADMISSIONS,
+        context=SimulationContext(),
+    )
     return results
 
 
@@ -328,7 +353,7 @@ def test_psnr_sweep_shares_datasets_across_cells():
         out = {}
         for scene in grid["scenes"]:
             for method in grid["methods"]:
-                result = run_tab04(QualityRunConfig(scenes=(scene,), **cfg_kw), (method,))
+                result = run_tab04.__wrapped__(QualityRunConfig(scenes=(scene,), **cfg_kw), (method,))
                 out[(scene, method)] = result.rows[0]["avg_psnr"]
         return out
 

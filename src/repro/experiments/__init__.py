@@ -14,6 +14,7 @@ from .fig10_parallelism import run_fig10
 from .fig11_speedup_energy import run_fig11
 from .fig12_cache_hit_rate import run_fig12
 from .fig13_occupancy_traffic import run_fig13
+from .fig14_serving_latency import run_fig14
 from .fig15_embedding_locality import run_fig15
 from .runner import ExperimentResult, format_series, format_table
 from .tab01_gpu_specs import run_tab01
@@ -32,6 +33,7 @@ __all__ = [
     "run_fig11",
     "run_fig12",
     "run_fig13",
+    "run_fig14",
     "run_fig15",
     "ExperimentResult",
     "format_series",

@@ -74,6 +74,7 @@ SUITES: tuple[BenchSuite, ...] = (
     BenchSuite("occupancy", "benchmarks/test_perf_occupancy.py", "BENCH_occupancy.json"),
     BenchSuite("precision", "benchmarks/test_perf_precision.py", "BENCH_precision.json"),
     BenchSuite("obs", "benchmarks/test_perf_obs.py", "BENCH_obs.json"),
+    BenchSuite("serve", "benchmarks/test_perf_serve.py", "BENCH_serve.json"),
 )
 
 

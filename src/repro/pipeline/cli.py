@@ -311,7 +311,10 @@ def build_parser(run_spec: str | None = None) -> argparse.ArgumentParser:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    specs = all_experiments()
+    # Sorted registry order (not insertion order): the listing is diffed by
+    # the CI smoke job, so it must be stable across refactors that merely
+    # reorder experiment-module imports.
+    specs = sorted(all_experiments(), key=lambda spec: spec.name)
     if args.json:
         payload = [
             {
@@ -327,9 +330,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     width = max(len(spec.name) for spec in specs)
     ref_width = max(len(spec.paper_ref) for spec in specs)
     for spec in specs:
-        params = ", ".join(p.name for p in spec.params) or "-"
         print(f"{spec.name.ljust(width)}  {spec.paper_ref.ljust(ref_width)}  {spec.title}")
-        print(f"{' ' * width}  {' ' * ref_width}  params: {params}")
     return 0
 
 

@@ -69,6 +69,9 @@ if TYPE_CHECKING:
     from ..gpu.profiler import KernelProfile, SceneProfile
     from ..mem.hierarchy import CacheHierarchy, FilteredStream
     from ..scenes.primitives import SDFScene
+    from ..serve.cost import ServiceCostConfig, ServiceCostModel
+    from ..serve.scheduler import SchedulerConfig
+    from ..serve.workload import ServeWorkloadConfig
     from ..workloads.embedding import EmbeddingStreamSource, EmbeddingTraceConfig
 
 T = TypeVar("T")
@@ -517,6 +520,46 @@ class SimulationContext:
         key = ("embedding_stream", config_key(config), table, order)
         return self.memoize(
             key, lambda: self.embedding_source(config).stream(table, order=order)
+        )
+
+    # ------------------------------------------------------------- serving
+    def serving_cost_model(self, cost: "ServiceCostConfig") -> "ServiceCostModel":
+        """The (stateless) batch cost model for a serving configuration.
+
+        Memory-only: the model embeds live hierarchy/DRAM engines, so it is
+        shared within a process but never persisted.
+        """
+        from ..serve.cost import ServiceCostModel
+
+        key = ("serving_cost_model", config_key(cost))
+        return self.memoize(key, lambda: ServiceCostModel(cost))
+
+    def serving_summary(
+        self,
+        workload: "ServeWorkloadConfig",
+        scheduler: "SchedulerConfig",
+        cost: "ServiceCostConfig",
+    ) -> dict[str, float]:
+        """Aggregate metrics of one simulated serving run (memoized, storable).
+
+        The artifact of the ``fig14_serving_latency`` experiment: a plain
+        float dict (p50/p99 latency, goodput, shed rate, queue depth, ...),
+        keyed by the full workload + scheduler + cost configuration so sweep
+        cells and resumed runs replay byte-identically.
+        """
+        from ..serve.simulator import simulate_serving
+
+        key = (
+            "serving_summary",
+            config_key(workload),
+            config_key(scheduler),
+            config_key(cost),
+        )
+        return self.memoize(
+            key,
+            lambda: simulate_serving(
+                workload, scheduler, model=self.serving_cost_model(cost)
+            ).summary(),
         )
 
     # ----------------------------------------------------------- locality

@@ -1,0 +1,163 @@
+"""Batch service times from the existing hierarchy → DRAM → NMP cost models.
+
+One coalesced batch is priced by replaying its tenant-tagged request stream
+through the exact models the paper experiments use:
+
+* the on-chip hierarchy (:meth:`repro.mem.hierarchy.CacheHierarchy.filter_stream`)
+  filters the finest-level corner lookups down to surviving line fetches;
+* the DRAM timing model (:meth:`repro.dram.system.DRAMSystem.service_batch`)
+  services those lines cycle-accurately, and the elapsed nanoseconds are
+  scaled by the level count (hashed levels are statistically symmetric, so
+  the finest level is simulated and stands in for all of them);
+* the near-bank accelerator model (:class:`repro.accel.nmp.NMPAccelerator`)
+  prices the per-point forward-MLP compute that overlaps the memory traffic.
+
+Memory and compute overlap exactly as in :class:`repro.accel.nmp.StepCost`
+(``max(memory, compute)``), plus a fixed per-batch dispatch overhead — which
+is what makes batching worth it and what the fig14 throughput comparison
+against a per-request oracle measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..accel.nmp import NMPAccelerator
+from ..core.hashing import get_hash_function
+from ..core.precision import validate_precision
+from ..dram.spec import get_dram_spec
+from ..dram.system import DRAMSystem
+from ..mem import CacheConfig, CacheHierarchy, PrefetcherConfig
+from ..nerf.encoding import HashGridConfig
+from .stream import batch_request_stream
+from .workload import RenderRequest
+
+if TYPE_CHECKING:
+    from ..streams.ir import RequestStream
+
+__all__ = ["ServiceCost", "ServiceCostConfig", "ServiceCostModel"]
+
+
+@dataclass(frozen=True)
+class ServiceCostConfig:
+    """Memory-system + accelerator configuration pricing one serving batch.
+
+    The hash grid is a serving-scale one (fewer, coarser levels than the
+    paper's training grid) so per-batch DRAM simulation stays cheap; all the
+    knobs of the underlying models are exposed because they are exactly the
+    axes the paper sweeps.
+    """
+
+    dram: str = "lpddr4-2400"
+    cache_kb: int = 64
+    ways: int = 4
+    line_bytes: int = 64
+    mshr_latency: int = 4
+    prefetch: str = "stride"
+    prefetch_degree: int = 1
+    grid_levels: int = 4
+    table_size: int = 2**15
+    base_resolution: int = 16
+    max_resolution: int = 128
+    features_per_entry: int = 2
+    dtype: str = "fp16"
+    hash_fn: str = "morton"
+    #: Fixed dispatch cost charged once per batch (kernel launch, packing).
+    batch_overhead_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        validate_precision(self.dtype)
+        if self.cache_kb <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache_kb, ways and line_bytes must be positive")
+        if self.grid_levels <= 0 or self.table_size <= 0:
+            raise ValueError("grid_levels and table_size must be positive")
+        if self.base_resolution <= 0 or self.max_resolution < self.base_resolution:
+            raise ValueError("resolutions must satisfy 0 < base <= max")
+        if self.features_per_entry <= 0:
+            raise ValueError("features_per_entry must be positive")
+        if self.batch_overhead_us < 0.0:
+            raise ValueError(f"batch_overhead_us must be >= 0, got {self.batch_overhead_us}")
+
+    def grid(self) -> HashGridConfig:
+        """The serving hash grid this cost model evaluates against."""
+        return HashGridConfig(
+            num_levels=self.grid_levels,
+            table_size=self.table_size,
+            features_per_entry=self.features_per_entry,
+            base_resolution=self.base_resolution,
+            max_resolution=self.max_resolution,
+            hash_fn=get_hash_function(self.hash_fn),
+            dtype=self.dtype,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceCost:
+    """Latency breakdown of servicing one coalesced batch."""
+
+    num_requests: int
+    num_points: int
+    dram_us: float
+    compute_us: float
+    overhead_us: float
+
+    @property
+    def total_us(self) -> float:
+        """Batch service latency: overlapped memory/compute plus dispatch."""
+        return self.overhead_us + max(self.dram_us, self.compute_us)
+
+
+class ServiceCostModel:
+    """Prices coalesced batches through the shared memory/accelerator models.
+
+    Deterministic: the same batch always costs the same microseconds (the
+    DRAM model is cycle-accurate and the compute term is a per-point
+    constant derived once from the accelerator's forward-MLP step cost).
+    """
+
+    def __init__(self, config: ServiceCostConfig | None = None):
+        self.config = config or ServiceCostConfig()
+        self.grid = self.config.grid()
+        self.level = self.config.grid_levels - 1
+        self.hierarchy = CacheHierarchy(
+            cache=CacheConfig(
+                capacity_bytes=self.config.cache_kb * 1024,
+                line_bytes=self.config.line_bytes,
+                ways=self.config.ways,
+                mshr_latency=self.config.mshr_latency,
+            ),
+            prefetcher=PrefetcherConfig(
+                policy=self.config.prefetch, degree=self.config.prefetch_degree
+            ),
+        )
+        self.dram = DRAMSystem(get_dram_spec(self.config.dram))
+        accelerator = NMPAccelerator()
+        step = accelerator.step_cost("MLP")
+        per_iteration_points = float(accelerator.effective_points_per_iteration)
+        self.compute_us_per_point = step.compute_seconds * 1e6 / per_iteration_points
+
+    # ------------------------------------------------------------------ API
+    def batch_stream(
+        self, requests: tuple[RenderRequest, ...] | list[RenderRequest]
+    ) -> "RequestStream":
+        """The tenant-tagged finest-level stream of one coalesced batch."""
+        return batch_request_stream(requests, self.grid, self.grid.hash_fn, self.level)
+
+    def cost(
+        self, requests: tuple[RenderRequest, ...] | list[RenderRequest]
+    ) -> ServiceCost:
+        """Service-latency breakdown of one coalesced batch."""
+        stream = self.batch_stream(requests)
+        filtered = self.hierarchy.filter_stream(stream)
+        lines = filtered.dram_stream()
+        serviced = self.dram.service_batch(lines, size_bytes=self.config.line_bytes)
+        dram_us = serviced.elapsed_ns * self.config.grid_levels / 1e3
+        compute_us = self.compute_us_per_point * stream.num_points
+        return ServiceCost(
+            num_requests=len(requests),
+            num_points=stream.num_points,
+            dram_us=float(dram_us),
+            compute_us=float(compute_us),
+            overhead_us=self.config.batch_overhead_us,
+        )

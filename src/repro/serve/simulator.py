@@ -1,0 +1,373 @@
+"""Discrete-event serving simulator: virtual clock, latency records, summary.
+
+The event loop advances a virtual microsecond clock over the merged arrival
+sequence, drives the :class:`repro.serve.scheduler.BatchQueue` (admission at
+arrival, timeout shedding and batch forming at dispatch) and prices every
+coalesced batch through the :class:`repro.serve.cost.ServiceCostModel`.
+Dispatch is work-conserving: whenever the server is idle and the queue
+non-empty, the next batch starts at
+``max(server_free, earliest_admit + batch_window)`` — the queue only ever
+waits for the configured coalescing window, never idly.
+
+Everything is deterministic: arrivals are seeded, service times are modeled
+cycles, and the clock is purely virtual (no wall-clock reads), so the same
+configuration always produces byte-identical records.  Per-request latency
+breakdowns (queue wait vs batch service) and per-batch accounting are
+recorded as typed rows and — when tracing is enabled — emitted as
+``repro.obs`` spans (deterministic virtual-time durations) and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import get_metrics, get_tracer
+from .cost import ServiceCostConfig, ServiceCostModel
+from .scheduler import BatchQueue, QueueEntry, SchedulerConfig
+from .workload import RenderRequest, ServeWorkloadConfig, generate_requests
+
+__all__ = [
+    "BatchRecord",
+    "RequestRecord",
+    "ServingResult",
+    "simulate_serving",
+    "simulate_serving_reference",
+]
+
+#: Terminal states of a request.
+REQUEST_STATUSES = ("served", "shed", "rejected")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome + latency breakdown of one request.
+
+    ``queue_us`` is admission-to-batch-start wait, ``service_us`` the batch
+    service latency the request shared, and ``latency_us`` the end-to-end
+    arrival-to-completion time.  Rejected requests (admission control) never
+    enter the queue; shed requests (timeout) leave it unserved.
+    """
+
+    request_id: int
+    tenant: int
+    arrival_us: float
+    num_points: int
+    status: str
+    start_us: float
+    finish_us: float
+    queue_us: float
+    service_us: float
+    latency_us: float
+    batch_id: int
+
+    def __post_init__(self) -> None:
+        if self.status not in REQUEST_STATUSES:
+            raise ValueError(f"status must be one of {REQUEST_STATUSES}, got {self.status!r}")
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Accounting of one dispatched batch (enough to replay the dispatch rule)."""
+
+    batch_id: int
+    start_us: float
+    #: When the server went idle before this batch (work-conservation check).
+    free_before_us: float
+    #: Queue-wide earliest admission time at dispatch (window check).
+    earliest_admit_us: float
+    num_requests: int
+    num_points: int
+    service_us: float
+    dram_us: float
+    compute_us: float
+    queue_depth_before: int
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """All records of one simulated serving run, plus the aggregate summary."""
+
+    records: tuple[RequestRecord, ...]
+    batches: tuple[BatchRecord, ...]
+    queue_depth_samples: tuple[int, ...]
+    makespan_us: float
+
+    def served_latencies_us(self) -> np.ndarray:
+        return np.asarray(
+            [r.latency_us for r in self.records if r.status == "served"], dtype=np.float64
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate serving metrics as a plain (storable) float dict."""
+        served = [r for r in self.records if r.status == "served"]
+        shed = sum(1 for r in self.records if r.status == "shed")
+        rejected = sum(1 for r in self.records if r.status == "rejected")
+        total = len(self.records)
+        latencies = self.served_latencies_us()
+        queue_waits = np.asarray([r.queue_us for r in served], dtype=np.float64)
+        depths = np.asarray(self.queue_depth_samples, dtype=np.float64)
+        busy_us = sum(b.service_us for b in self.batches)
+        makespan_s = self.makespan_us / 1e6 if self.makespan_us > 0 else 0.0
+
+        def percentile(q: float) -> float:
+            return float(np.percentile(latencies, q)) if latencies.size else 0.0
+
+        return {
+            "num_requests": float(total),
+            "served": float(len(served)),
+            "shed": float(shed),
+            "rejected": float(rejected),
+            "shed_rate": float((shed + rejected) / total) if total else 0.0,
+            "goodput_rps": float(len(served) / makespan_s) if makespan_s else 0.0,
+            "p50_latency_us": percentile(50.0),
+            "p95_latency_us": percentile(95.0),
+            "p99_latency_us": percentile(99.0),
+            "mean_latency_us": float(latencies.mean()) if latencies.size else 0.0,
+            "max_latency_us": float(latencies.max()) if latencies.size else 0.0,
+            "mean_queue_us": float(queue_waits.mean()) if queue_waits.size else 0.0,
+            "mean_queue_depth": float(depths.mean()) if depths.size else 0.0,
+            "max_queue_depth": float(depths.max()) if depths.size else 0.0,
+            "num_batches": float(len(self.batches)),
+            "mean_batch_requests": (
+                float(np.mean([b.num_requests for b in self.batches])) if self.batches else 0.0
+            ),
+            "mean_batch_points": (
+                float(np.mean([b.num_points for b in self.batches])) if self.batches else 0.0
+            ),
+            "utilization": float(busy_us / self.makespan_us) if self.makespan_us else 0.0,
+            "makespan_us": float(self.makespan_us),
+        }
+
+
+def _rejected_record(request: RenderRequest) -> RequestRecord:
+    return RequestRecord(
+        request_id=request.request_id,
+        tenant=request.tenant,
+        arrival_us=request.arrival_us,
+        num_points=request.num_points,
+        status="rejected",
+        start_us=request.arrival_us,
+        finish_us=request.arrival_us,
+        queue_us=0.0,
+        service_us=0.0,
+        latency_us=0.0,
+        batch_id=-1,
+    )
+
+
+def _shed_record(entry: QueueEntry, shed_us: float) -> RequestRecord:
+    request = entry.request
+    return RequestRecord(
+        request_id=request.request_id,
+        tenant=request.tenant,
+        arrival_us=request.arrival_us,
+        num_points=request.num_points,
+        status="shed",
+        start_us=shed_us,
+        finish_us=shed_us,
+        queue_us=shed_us - entry.admit_us,
+        service_us=0.0,
+        latency_us=shed_us - request.arrival_us,
+        batch_id=-1,
+    )
+
+
+def simulate_serving(
+    workload: ServeWorkloadConfig,
+    scheduler: SchedulerConfig,
+    cost: ServiceCostConfig | None = None,
+    model: ServiceCostModel | None = None,
+) -> ServingResult:
+    """Run one open-loop serving simulation end to end.
+
+    ``model`` may be passed to reuse one :class:`ServiceCostModel` (and its
+    accelerator-derived constants) across runs; it must have been built from
+    ``cost`` (or the default config) — reuse never changes results because
+    the model is stateless across batches.
+    """
+    cost_model = model if model is not None else ServiceCostModel(cost)
+    tracer = get_tracer()
+    with tracer.span("serve.simulate", "serve") as run_span:
+        requests = generate_requests(workload)
+        queue = BatchQueue(scheduler)
+        records: list[RequestRecord] = []
+        batches: list[BatchRecord] = []
+        depth_samples: list[int] = []
+        free_at = 0.0
+        next_arrival = 0
+
+        def admit_next() -> None:
+            nonlocal next_arrival
+            request = requests[next_arrival]
+            next_arrival += 1
+            if queue.offer(request, request.arrival_us):
+                depth_samples.append(queue.depth)
+            else:
+                records.append(_rejected_record(request))
+                if tracer.enabled:
+                    get_metrics().counter("serve.rejected").inc()
+
+        while next_arrival < len(requests) or queue.depth:
+            if queue.depth == 0:
+                admit_next()
+                continue
+            dispatch_at = max(free_at, queue.earliest_admit_us + scheduler.batch_window_us)
+            if next_arrival < len(requests) and (
+                requests[next_arrival].arrival_us <= dispatch_at
+            ):
+                admit_next()
+                continue
+            expired = queue.shed_expired(dispatch_at)
+            for entry in expired:
+                records.append(_shed_record(entry, dispatch_at))
+                if tracer.enabled:
+                    get_metrics().counter("serve.shed").inc()
+            if queue.depth == 0:
+                continue
+            earliest = queue.earliest_admit_us
+            if max(free_at, earliest + scheduler.batch_window_us) > dispatch_at:
+                # Shedding removed the oldest entries; re-evaluate the
+                # dispatch time (new arrivals may intervene first).
+                continue
+            depth_before = queue.depth
+            entries = queue.next_batch()
+            batch = [entry.request for entry in entries]
+            with tracer.span("serve.batch", "serve") as span:
+                batch_cost = cost_model.cost(batch)
+                if span.enabled:
+                    span.set_cycles(int(batch_cost.total_us * 1e3))
+                    span.add_args(
+                        requests=batch_cost.num_requests,
+                        points=batch_cost.num_points,
+                        dram_us=batch_cost.dram_us,
+                        compute_us=batch_cost.compute_us,
+                    )
+            start = dispatch_at
+            finish = start + batch_cost.total_us
+            free_before = free_at
+            free_at = finish
+            batch_id = len(batches)
+            batches.append(
+                BatchRecord(
+                    batch_id=batch_id,
+                    start_us=start,
+                    free_before_us=free_before,
+                    earliest_admit_us=earliest,
+                    num_requests=batch_cost.num_requests,
+                    num_points=batch_cost.num_points,
+                    service_us=batch_cost.total_us,
+                    dram_us=batch_cost.dram_us,
+                    compute_us=batch_cost.compute_us,
+                    queue_depth_before=depth_before,
+                )
+            )
+            for entry in entries:
+                request = entry.request
+                records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        arrival_us=request.arrival_us,
+                        num_points=request.num_points,
+                        status="served",
+                        start_us=start,
+                        finish_us=finish,
+                        queue_us=start - entry.admit_us,
+                        service_us=batch_cost.total_us,
+                        latency_us=finish - request.arrival_us,
+                        batch_id=batch_id,
+                    )
+                )
+                if tracer.enabled:
+                    get_metrics().counter("serve.served").inc()
+                    get_metrics().histogram("serve.latency_us").observe(
+                        finish - request.arrival_us
+                    )
+
+        records.sort(key=lambda r: r.request_id)
+        makespan = max(
+            (r.finish_us for r in records), default=0.0
+        )
+        result = ServingResult(
+            records=tuple(records),
+            batches=tuple(batches),
+            queue_depth_samples=tuple(depth_samples),
+            makespan_us=float(makespan),
+        )
+        if run_span.enabled:
+            summary = result.summary()
+            run_span.set_cycles(int(makespan * 1e3))
+            run_span.add_args(
+                requests=len(records),
+                served=int(summary["served"]),
+                shed=int(summary["shed"]),
+                rejected=int(summary["rejected"]),
+                p99_latency_us=summary["p99_latency_us"],
+            )
+            get_metrics().gauge("serve.p99_latency_us").set(summary["p99_latency_us"])
+        return result
+
+
+def simulate_serving_reference(
+    workload: ServeWorkloadConfig,
+    cost: ServiceCostConfig | None = None,
+    model: ServiceCostModel | None = None,
+) -> ServingResult:
+    """Per-request FIFO oracle: no coalescing, no admission, no shedding.
+
+    Every request is serviced alone in arrival order — the classic G/G/1
+    recursion ``finish_i = max(arrival_i, finish_{i-1}) + service_i``.  This
+    is both the baseline the batcher's throughput win is measured against
+    and an exact oracle: with ``max_batch_points`` of one request and no
+    admission control, :func:`simulate_serving` must reproduce it.
+    """
+    cost_model = model if model is not None else ServiceCostModel(cost)
+    requests = generate_requests(workload)
+    records: list[RequestRecord] = []
+    batches: list[BatchRecord] = []
+    free_at = 0.0
+    for request in requests:
+        batch_cost = cost_model.cost([request])
+        start = max(free_at, request.arrival_us)
+        finish = start + batch_cost.total_us
+        free_before = free_at
+        free_at = finish
+        batch_id = len(batches)
+        batches.append(
+            BatchRecord(
+                batch_id=batch_id,
+                start_us=start,
+                free_before_us=free_before,
+                earliest_admit_us=request.arrival_us,
+                num_requests=1,
+                num_points=request.num_points,
+                service_us=batch_cost.total_us,
+                dram_us=batch_cost.dram_us,
+                compute_us=batch_cost.compute_us,
+                queue_depth_before=1,
+            )
+        )
+        records.append(
+            RequestRecord(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                arrival_us=request.arrival_us,
+                num_points=request.num_points,
+                status="served",
+                start_us=start,
+                finish_us=finish,
+                queue_us=start - request.arrival_us,
+                service_us=batch_cost.total_us,
+                latency_us=finish - request.arrival_us,
+                batch_id=batch_id,
+            )
+        )
+    makespan = records[-1].finish_us if records else 0.0
+    return ServingResult(
+        records=tuple(records),
+        batches=tuple(batches),
+        queue_depth_samples=(1,) * len(records),
+        makespan_us=float(makespan),
+    )

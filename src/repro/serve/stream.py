@@ -1,0 +1,85 @@
+"""Compile a coalesced serving batch down to the typed request-stream IR.
+
+A batch of render requests becomes exactly what the training front-ends
+emit: per-point hash-table corner indices wrapped in one
+:class:`repro.streams.RequestStream`, so the unchanged hierarchy → DRAM →
+accelerator consumers price serving traffic with zero new memory-system
+code.  The only serving-specific twist is the *tenant-tagged* reuse-group
+axis: group ids combine the request id with the sample's cube id, so
+register-reuse runs never span two requests (conservative — cross-tenant
+reuse is a cache property, not a register property) while the request a
+point belongs to stays recoverable from the stream itself.  That same
+tagging is the hook the sharding follow-on needs for placement decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..core.hashing import HashFunction
+from ..core.streaming import cube_ids
+from ..nerf.encoding import HashGridConfig
+from ..streams.ir import RequestStream, table_base_address
+from ..workloads.traces import level_lookup_indices
+from .workload import RenderRequest
+
+__all__ = ["batch_request_stream", "request_points"]
+
+
+def request_points(request: RenderRequest) -> NDArray[np.float64]:
+    """The deterministic ``(num_points, 3)`` sample points of one request.
+
+    Rays march from the request's camera pose through the unit scene cube:
+    per-ray directions are drawn from the request's own generator and the
+    ``points_per_ray`` samples advance along each ray (wrapped into the unit
+    cube), giving serving traffic the same ray-major spatial locality the
+    training traces have.
+    """
+    rng = np.random.default_rng(request.seed)
+    directions = rng.standard_normal((request.rays, 3))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    directions = directions / np.maximum(norms, 1e-12)
+    steps = (np.arange(request.points_per_ray, dtype=np.float64) + 0.5) / request.points_per_ray
+    origin = np.asarray(request.pose, dtype=np.float64)
+    # (rays, points_per_ray, 3): origin + t * direction, wrapped to [0, 1).
+    points = origin[None, None, :] + steps[None, :, None] * directions[:, None, :]
+    return np.asarray(np.mod(points, 1.0).reshape(-1, 3), dtype=np.float64)
+
+
+def batch_request_stream(
+    requests: tuple[RenderRequest, ...] | list[RenderRequest],
+    grid: HashGridConfig,
+    hash_fn: HashFunction,
+    level: int,
+) -> RequestStream:
+    """One level's corner lookups of a coalesced batch, tenant-tagged.
+
+    Points are streamed request-major (the batch order the scheduler chose),
+    ray-major within a request.  ``group_ids`` are
+    ``request_id * cubes_per_level + cube_id``: within a request consecutive
+    same-cube samples form register-reuse runs exactly as in training
+    traces, and runs can never leak across a request boundary.
+    """
+    if not requests:
+        raise ValueError("cannot build a stream from an empty batch")
+    resolution = grid.resolutions[level]
+    points_list = [request_points(request) for request in requests]
+    points = np.concatenate(points_list, axis=0)
+    indices = level_lookup_indices(points, level, grid, hash_fn)
+    cubes_per_level = resolution**3
+    request_ids = np.repeat(
+        np.asarray([request.request_id for request in requests], dtype=np.int64),
+        np.asarray([request.num_points for request in requests], dtype=np.int64),
+    )
+    groups = request_ids * np.int64(cubes_per_level) + cube_ids(points, resolution)
+    return RequestStream(
+        indices=indices,
+        entry_bytes=grid.entry_bytes,
+        table_entries=grid.level_table_entries(level),
+        base_address=table_base_address(grid, level, grid.entry_bytes),
+        dtype=grid.dtype,
+        group_ids=groups,
+        source="serve.batch",
+        label=f"level={level} requests={len(requests)}",
+    )

@@ -44,6 +44,7 @@ def test_suite_registry_and_lookup():
         "occupancy",
         "precision",
         "obs",
+        "serve",
     ]
     assert [s.name for s in get_suites(["mem", "occupancy"])] == ["mem", "occupancy"]
     with pytest.raises(KeyError, match="unknown benchmark suite"):

@@ -23,7 +23,7 @@ from repro.core.hashing import (
     MortonLocalityHash,
     get_hash_function,
 )
-from repro.core.streaming import StreamingOrder, row_requests_from_corner_indices
+from repro.core.streaming import StreamingOrder, cube_ids, row_requests_for_stream
 from repro.gpu import XNX
 from repro.mem import (
     COALESCED,
@@ -43,7 +43,19 @@ from repro.mem import (
 )
 from repro.nerf.encoding import HashGridConfig
 from repro.pipeline.context import SimulationContext
+from repro.streams import RequestStream, StreamKind
 from repro.workloads.traces import TraceConfig, generate_batch_points, level_lookup_indices
+
+
+def _gather_stream(indices, kind=StreamKind.GATHER):
+    """The (N, P) index array as a 4-byte-entry RequestStream (legacy layout)."""
+    return RequestStream(
+        indices=indices,
+        entry_bytes=4,
+        table_entries=int(np.max(indices)) + 1,
+        kind=kind,
+        source="tests.mem",
+    )
 
 
 # ----------------------------------------------------------- configuration
@@ -163,8 +175,9 @@ def test_hierarchy_matches_reference_on_scene_streams(scene, hash_name):
         else:
             hash_fn = get_hash_function(hash_name)
         indices = level_lookup_indices(points, level, grid, hash_fn)
-        fast = hierarchy.filter_stream(indices * 4)
-        oracle = hierarchy.filter_stream_reference(indices * 4)
+        stream = _gather_stream(indices)
+        fast = hierarchy.filter_stream(stream)
+        oracle = hierarchy.filter_stream_reference(stream)
         np.testing.assert_array_equal(fast.outcomes, oracle.outcomes)
         np.testing.assert_array_equal(fast.dram_lines, oracle.dram_lines)
         np.testing.assert_array_equal(fast.demand_lines, oracle.demand_lines)
@@ -173,9 +186,10 @@ def test_hierarchy_matches_reference_on_scene_streams(scene, hash_name):
 
 def test_hierarchy_write_streams_match_reference(rng):
     hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=2048, line_bytes=64, ways=2))
-    addresses = rng.integers(0, 64 * 400, 50 * 8) * 4
-    fast = hierarchy.filter_stream(addresses, writes=True)
-    oracle = hierarchy.filter_stream_reference(addresses, writes=True)
+    indices = rng.integers(0, 64 * 400, 50 * 8).reshape(50, 8)
+    stream = _gather_stream(indices, kind=StreamKind.WRITE)
+    fast = hierarchy.filter_stream(stream)
+    oracle = hierarchy.filter_stream_reference(stream)
     assert fast.stats == oracle.stats
     assert fast.stats.cache.writebacks + fast.stats.cache.dirty_lines_left > 0
 
@@ -242,8 +256,15 @@ def test_l0_window_reproduces_row_request_accounting():
     )
     for level in (0, 8, 15):
         indices = level_lookup_indices(points, level, grid, MortonLocalityHash())
-        filtered = hierarchy.filter_stream(indices * 4)
-        expected = row_requests_from_corner_indices(points, indices, level, grid, None, 1024, 4)
+        filtered = hierarchy.filter_stream(_gather_stream(indices))
+        stream = RequestStream(
+            indices=indices,
+            entry_bytes=4,
+            table_entries=grid.level_table_entries(level),
+            group_ids=cube_ids(points, int(grid.resolutions[level])),
+            source="tests.mem",
+        )
+        expected = row_requests_for_stream(stream, row_bytes=1024)
         assert filtered.stats.demand_lines == expected
 
 
@@ -297,7 +318,7 @@ def test_hierarchy_filters_traffic_and_reports_energy():
     )
     indices = level_lookup_indices(points, 7, grid, MortonLocalityHash())
     hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=64 * 1024, ways=4, mshr_latency=4))
-    filtered = hierarchy.filter_stream(indices * 4)
+    filtered = hierarchy.filter_stream(_gather_stream(indices))
     stats = filtered.stats
     assert stats.l0_accesses == indices.size
     assert 0.0 < stats.l0_hit_rate < 1.0
@@ -312,12 +333,13 @@ def test_hierarchy_filters_traffic_and_reports_energy():
 
 
 def test_bad_stream_shapes_are_rejected():
+    """The deprecated bare-ndarray shim still validates shapes (and warns)."""
     hierarchy = CacheHierarchy()
-    with pytest.raises(ValueError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
         hierarchy.filter_stream(np.arange(10), accesses_per_point=8)
-    with pytest.raises(ValueError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
         hierarchy.filter_stream(np.arange(16), accesses_per_point=0)
-    with pytest.raises(ValueError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
         hierarchy.filter_stream(np.array([-4, 0, 0, 0, 0, 0, 0, 0]))
 
 
@@ -368,7 +390,7 @@ def _measured_stats():
     )
     indices = level_lookup_indices(points, 7, grid, MortonLocalityHash())
     hierarchy = CacheHierarchy(CacheConfig(capacity_bytes=512 * 1024, ways=8, mshr_latency=4))
-    return hierarchy.filter_stream(indices * 4).stats
+    return hierarchy.filter_stream(_gather_stream(indices)).stats
 
 
 def test_nmp_accelerator_consumes_hierarchy_stats():
@@ -402,7 +424,7 @@ def test_fig12_experiment_reports_traffic_reduction():
     ctx = SimulationContext()
     grid = HashGridConfig(num_levels=6)
     trace = TraceConfig(num_rays=32, points_per_ray=32, seed=0)
-    result = run_fig12(grid, trace, (16, 256), context=ctx, timing=True)
+    result = run_fig12.__wrapped__(grid, trace, (16, 256), context=ctx, timing=True)
     assert [row["cache_kb"] for row in result.rows] == [16, 256]
     for row in result.rows:
         assert 0.0 <= row["cache_hit_rate"] <= 1.0
@@ -421,4 +443,4 @@ def test_fig12_experiment_reports_traffic_reduction():
     )
     assert demand_runs == 1
     with pytest.raises(ValueError):
-        run_fig12(grid, trace, (), context=ctx)
+        run_fig12.__wrapped__(grid, trace, (), context=ctx)

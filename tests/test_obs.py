@@ -34,6 +34,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.pipeline.store import ArtifactStore
+from repro.streams import RequestStream
 from repro.pipeline.sweep import ProcessSweepExecutor, sweep
 
 FIG07_GRID = {"hash": ["morton", "original"]}
@@ -227,8 +228,10 @@ def test_trace_covers_five_subsystems(tmp_path, tiny_dataset):
     store.get(("kind", "a"))
 
     hierarchy = CacheHierarchy()  # mem span
-    addresses = (np.arange(64, dtype=np.int64) % 16) * 32
-    hierarchy.filter_stream(addresses, accesses_per_point=8)
+    indices = ((np.arange(64, dtype=np.int64) % 16) * 8).reshape(8, 8)
+    hierarchy.filter_stream(
+        RequestStream(indices=indices, entry_bytes=4, table_entries=121, source="tests.obs")
+    )
 
     dram = DRAMSystem()  # dram span
     dram.service_batch(np.arange(32, dtype=np.int64) * 64)

@@ -28,6 +28,7 @@ EXPECTED_SPECS = (
     "fig01", "fig04", "fig06", "fig07", "fig09", "fig10", "fig11",
     "fig12_cache_hit_rate",
     "fig13_occupancy_traffic",
+    "fig14_serving_latency",
     "fig15_embedding_locality",
     "tab01", "tab02", "tab03", "tab04",
     "tab05_psnr_precision",
@@ -69,7 +70,8 @@ def test_run_experiment_produces_expected_result():
 def test_registered_run_matches_legacy_entry_point():
     """The registry path and the legacy run_* wrapper agree exactly."""
     trace = TraceConfig(num_rays=32, points_per_ray=32, seed=0, scene="lego")
-    legacy = run_fig07(HashGridConfig(num_levels=8), trace)
+    with pytest.warns(DeprecationWarning, match="run_fig07"):
+        legacy = run_fig07(HashGridConfig(num_levels=8), trace)
     registered = run_experiment(
         "fig07", levels=8, rays=32, points_per_ray=32, scene="lego"
     )

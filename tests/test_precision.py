@@ -229,7 +229,7 @@ def test_tab05_smoke_monotone_reductions():
         rays_per_batch=32,
         samples_per_ray=8,
     )
-    result = run_tab05(config)
+    result = run_tab05.__wrapped__(config)
     assert [row["dtype"] for row in result.rows] == list(precision.PRECISIONS)
     for metric in ("entry_bytes", "row_requests", "dram_cycles", "sram_energy_j"):
         series = [row[metric] for row in result.rows]
